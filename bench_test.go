@@ -1,0 +1,287 @@
+package chl_test
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// micro-benchmarks for the primitives. Each experiment benchmark runs the
+// corresponding internal/exp driver at a reduced scale and reports the
+// headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in miniature; cmd/experiments produces
+// the full-size text report.
+
+import (
+	"math/rand"
+	"testing"
+
+	chl "repro"
+	"repro/internal/exp"
+	"repro/internal/query"
+)
+
+// benchCfg keeps one benchmark iteration to roughly a second.
+func benchCfg() exp.Config {
+	return exp.Config{Scale: 0.15, Seed: 1, Workers: 2, QueryBatch: 20_000, LatencyQueries: 1_000}.Defaults()
+}
+
+// BenchmarkTable3SharedMemory reproduces Table 3: GLL vs LCC vs SparaPLL vs
+// seqPLL construction time and average label size.
+func BenchmarkTable3SharedMemory(b *testing.B) {
+	cfg := benchCfg()
+	var rows []exp.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table3(cfg)
+	}
+	var chlALS, spALS float64
+	for _, r := range rows {
+		chlALS += r.CHLALS
+		spALS += r.SparaALS
+	}
+	b.ReportMetric(chlALS/float64(len(rows)), "CHL-ALS")
+	b.ReportMetric(spALS/float64(len(rows)), "SparaPLL-ALS")
+	b.ReportMetric(100*(1-chlALS/spALS), "label-reduction-%")
+}
+
+// BenchmarkTable4QueryModes reproduces Table 4: QLSN/QFDL/QDOL throughput,
+// latency and memory at q=16.
+func BenchmarkTable4QueryModes(b *testing.B) {
+	cfg := benchCfg()
+	var rows []exp.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table4(cfg)
+	}
+	var qdol, qfdl float64
+	var count int
+	for _, r := range rows {
+		if !r.Skipped[query.QDOL] && !r.Skipped[query.QFDL] {
+			qdol += r.Throughput[query.QDOL]
+			qfdl += r.Throughput[query.QFDL]
+			count++
+		}
+	}
+	if count > 0 {
+		b.ReportMetric(qdol/qfdl, "QDOL/QFDL-throughput")
+	}
+}
+
+// BenchmarkFigure2LabelsPerSPT reproduces Figure 2's decay series.
+func BenchmarkFigure2LabelsPerSPT(b *testing.B) {
+	cfg := benchCfg()
+	var series []exp.FigureSeries
+	for i := 0; i < b.N; i++ {
+		series = exp.Figure2(cfg)
+	}
+	first := series[0].Points
+	b.ReportMetric(first[0].Value/maxf(first[len(first)-1].Value, 1), "first/last-bucket")
+}
+
+// BenchmarkFigure3Psi reproduces Figure 3's Ψ-per-tree series.
+func BenchmarkFigure3Psi(b *testing.B) {
+	cfg := benchCfg()
+	var series []exp.FigureSeries
+	for i := 0; i < b.N; i++ {
+		series = exp.Figure3(cfg)
+	}
+	var peak float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Value > peak {
+				peak = p.Value
+			}
+		}
+	}
+	b.ReportMetric(peak, "max-psi")
+}
+
+// BenchmarkFigure4RestrictedPruning reproduces Figure 4: labels vs pruning
+// hub budget.
+func BenchmarkFigure4RestrictedPruning(b *testing.B) {
+	cfg := benchCfg()
+	var series []exp.Figure4Series
+	for i := 0; i < b.N; i++ {
+		series = exp.Figure4(cfg)
+	}
+	s := series[0]
+	b.ReportMetric(float64(s.Points[0].Labels)/float64(s.CHL), "rankonly/CHL-labels")
+}
+
+// BenchmarkFigure5AlphaSweep reproduces Figure 5: GLL time vs α.
+func BenchmarkFigure5AlphaSweep(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		exp.Figure5(cfg)
+	}
+}
+
+// BenchmarkFigure6PsiSweep reproduces Figure 6: Hybrid time vs Ψth at q=16.
+func BenchmarkFigure6PsiSweep(b *testing.B) {
+	cfg := benchCfg()
+	var pts []exp.Figure6Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.Figure6(cfg)
+	}
+	b.ReportMetric(float64(len(pts)), "points")
+}
+
+// BenchmarkFigure7Breakdown reproduces Figure 7: LCC vs GLL phase split.
+func BenchmarkFigure7Breakdown(b *testing.B) {
+	cfg := benchCfg()
+	var rows []exp.Figure7Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Figure7(cfg)
+	}
+	var ratio float64
+	for _, r := range rows {
+		ratio += float64(r.LCCCleanEntries) / maxf(float64(r.GLLCleanEntries), 1)
+	}
+	b.ReportMetric(ratio/float64(len(rows)), "LCC/GLL-clean-entries")
+}
+
+// BenchmarkFigure8StrongScaling reproduces Figure 8 on a reduced q grid.
+func BenchmarkFigure8StrongScaling(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.3
+	var pts []exp.Figure8Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.Figure8(cfg)
+	}
+	// Report PLaNT's modeled speedup on the first dataset.
+	var t1, tq float64
+	maxQ := 0
+	for _, p := range pts {
+		if p.Dataset == "CAL" && p.Algorithm == "PLaNT" && !p.OOM {
+			if p.Nodes == 1 {
+				t1 = p.Modeled
+			}
+			if p.Nodes > maxQ {
+				maxQ, tq = p.Nodes, p.Modeled
+			}
+		}
+	}
+	if tq > 0 {
+		b.ReportMetric(t1/tq, "PLaNT-speedup")
+	}
+}
+
+// BenchmarkFigure9ALSGrowth reproduces Figure 9: ALS vs q.
+func BenchmarkFigure9ALSGrowth(b *testing.B) {
+	cfg := benchCfg()
+	var pts []exp.Figure9Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.Figure9(cfg)
+	}
+	// DparaPLL ALS inflation at the largest q relative to canonical.
+	var dp, hy float64
+	maxQ := 0
+	for _, p := range pts {
+		if p.Nodes > maxQ {
+			maxQ = p.Nodes
+		}
+	}
+	for _, p := range pts {
+		if p.Nodes == maxQ && !p.OOM {
+			if p.Algorithm == "DparaPLL" {
+				dp += p.ALS
+			} else {
+				hy += p.ALS
+			}
+		}
+	}
+	if hy > 0 {
+		b.ReportMetric(dp/hy, "DparaPLL/CHL-ALS")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the primitives.
+
+func benchGraph(b *testing.B) *chl.Graph {
+	b.Helper()
+	return chl.GenerateScaleFree(2048, 4, 1)
+}
+
+func BenchmarkBuildSeqPLL(b *testing.B) {
+	g := benchGraph(b)
+	ord := chl.RankByDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoSeqPLL, Order: ord}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildGLL(b *testing.B) {
+	g := benchGraph(b)
+	ord := chl.RankByDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Order: ord, Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPLaNT(b *testing.B) {
+	g := benchGraph(b)
+	ord := chl.RankByDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoPLaNT, Order: ord, Workers: 2, CommonHubs: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildHybridQ8(b *testing.B) {
+	g := benchGraph(b)
+	ord := chl.RankByDegree(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoHybrid, Order: ord, Nodes: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	g := benchGraph(b)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := g.NumVertices()
+	us := make([]int, 4096)
+	vs := make([]int, 4096)
+	for i := range us {
+		us[i], vs[i] = rng.Intn(n), rng.Intn(n)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += ix.Query(us[i%4096], vs[i%4096])
+	}
+	_ = sink
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	g := benchGraph(b)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.SaveFile(b.TempDir() + "/ix.chl"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

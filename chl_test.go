@@ -1,0 +1,280 @@
+package chl_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	chl "repro"
+	"repro/internal/sssp"
+)
+
+func TestBuildAllAlgorithmsAnswerExactly(t *testing.T) {
+	g := chl.GenerateScaleFree(120, 3, 1)
+	ord := chl.RankByDegree(g)
+	rng := rand.New(rand.NewSource(5))
+	type q struct {
+		u, v int
+		want float64
+	}
+	var queries []q
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(120), rng.Intn(120)
+		queries = append(queries, q{u, v, sssp.Dijkstra(g, u)[v]})
+	}
+	for _, algo := range chl.Algorithms() {
+		opt := chl.Options{Algorithm: algo, Order: ord, Workers: 2}
+		if algo.Distributed() {
+			opt.Nodes = 3
+		}
+		ix, err := chl.Build(g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, qq := range queries {
+			if got := ix.Query(qq.u, qq.v); got != qq.want {
+				t.Fatalf("%s: query(%d,%d) = %v, want %v", algo, qq.u, qq.v, got, qq.want)
+			}
+		}
+	}
+}
+
+func TestCanonicalALSIdenticalAcrossCHLAlgorithms(t *testing.T) {
+	g := chl.GenerateRoadGrid(9, 9, 2)
+	ord := chl.RankByBetweenness(g, 16, 1)
+	var als float64
+	for _, algo := range chl.Algorithms() {
+		if !algo.Canonical() {
+			continue
+		}
+		opt := chl.Options{Algorithm: algo, Order: ord, Nodes: 2}
+		ix, err := chl.Build(g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		st := ix.Stats()
+		if als == 0 {
+			als = st.ALS
+		} else if st.ALS != als {
+			t.Fatalf("%s ALS %v differs from canonical %v", algo, st.ALS, als)
+		}
+	}
+	// The non-canonical baselines must not be smaller.
+	sp, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoSParaPLL, Order: ord, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats().ALS < als {
+		t.Fatalf("SparaPLL ALS %v below canonical %v", sp.Stats().ALS, als)
+	}
+}
+
+func TestQueryHubIsOnShortestPath(t *testing.T) {
+	g := chl.GenerateRoadGrid(7, 7, 3)
+	ix, err := chl.Build(g, chl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		u, v := rng.Intn(49), rng.Intn(49)
+		d, hub, ok := ix.QueryHub(u, v)
+		if !ok {
+			t.Fatalf("connected pair (%d,%d) reported no hub", u, v)
+		}
+		du := sssp.Dijkstra(g, u)
+		dh := sssp.Dijkstra(g, hub)
+		if du[hub]+dh[v] != d || d != du[v] {
+			t.Fatalf("hub %d not on a shortest %d–%d path", hub, u, v)
+		}
+	}
+}
+
+func TestLabelsAccessor(t *testing.T) {
+	g := chl.GenerateScaleFree(60, 3, 2)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoSeqPLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 60; v++ {
+		ls := ix.Labels(v)
+		if len(ls) == 0 {
+			t.Fatalf("vertex %d has no labels", v)
+		}
+		foundSelf := false
+		prevRank := -1
+		for _, l := range ls {
+			if l.Hub == v {
+				foundSelf = true
+				if l.Dist != 0 {
+					t.Fatalf("self label dist %v", l.Dist)
+				}
+			}
+			r := ix.Rank(l.Hub)
+			if r <= prevRank {
+				t.Fatalf("labels of %d not ordered by rank", v)
+			}
+			prevRank = r
+		}
+		if !foundSelf {
+			t.Fatalf("vertex %d missing self label", v)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := chl.GenerateScaleFree(80, 3, 4)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := chl.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		u, v := rng.Intn(80), rng.Intn(80)
+		if ix.Query(u, v) != back.Query(u, v) {
+			t.Fatalf("loaded index disagrees at (%d,%d)", u, v)
+		}
+	}
+	if back.Stats().TotalLabels != ix.Stats().TotalLabels {
+		t.Fatal("label counts differ after round trip")
+	}
+}
+
+func TestDirectedBuildAndSaveLoad(t *testing.T) {
+	g := chl.GenerateRandomDirected(60, 200, 8, 3)
+	for _, algo := range []chl.Algorithm{chl.AlgoSeqPLL, chl.AlgoPLaNT} {
+		ix, err := chl.Build(g, chl.Options{Algorithm: algo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ix.Directed() {
+			t.Fatal("directed flag lost")
+		}
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 150; i++ {
+			u, v := rng.Intn(60), rng.Intn(60)
+			want := sssp.Dijkstra(g, u)[v]
+			if got := ix.Query(u, v); got != want {
+				t.Fatalf("%s: directed query(%d→%d) = %v, want %v", algo, u, v, got, want)
+			}
+		}
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := chl.Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Query(1, 2) != ix.Query(1, 2) || !back.Directed() {
+			t.Fatal("directed round trip broken")
+		}
+	}
+	// Unsupported algorithm on directed input errors cleanly.
+	if _, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL}); err == nil {
+		t.Fatal("GLL accepted a directed graph")
+	}
+}
+
+func TestQueryEngines(t *testing.T) {
+	g := chl.GenerateScaleFree(100, 3, 5)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoHybrid, Nodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]chl.QueryPair, 100)
+	rng := rand.New(rand.NewSource(6))
+	for i := range pairs {
+		pairs[i] = chl.QueryPair{U: rng.Intn(100), V: rng.Intn(100)}
+	}
+	for _, mode := range []chl.QueryMode{chl.ModeQLSN, chl.ModeQFDL, chl.ModeQDOL} {
+		qe, err := chl.NewQueryEngine(ix, mode, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		br := qe.Batch(pairs)
+		for i, p := range pairs {
+			if br.Dists[i] != ix.Query(p.U, p.V) {
+				t.Fatalf("%s: batch query %d wrong", mode, i)
+			}
+		}
+		if len(qe.MemoryPerNode()) != 6 {
+			t.Fatalf("%s: memory vector size", mode)
+		}
+	}
+	// QFDL on a shared-memory build must fail (no partitions).
+	shared, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chl.NewQueryEngine(shared, chl.ModeQFDL, 6); err == nil {
+		t.Fatal("QFDL accepted a shared-memory index")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := chl.Build(nil, chl.Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := chl.GenerateScaleFree(20, 2, 1)
+	if _, err := chl.Build(g, chl.Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	bad := chl.RankIdentity(5)
+	if _, err := chl.Build(g, chl.Options{Order: bad}); err == nil {
+		t.Fatal("mismatched order accepted")
+	}
+}
+
+func TestMemoryLimitSurfacesOOM(t *testing.T) {
+	g := chl.GenerateScaleFree(150, 4, 7)
+	_, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoDParaPLL, Nodes: 4, MemoryLimitBytes: 1024})
+	if !errors.Is(err, chl.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestCustomRandomOrderStillExact(t *testing.T) {
+	// The CHL is defined for ANY hierarchy: an adversarial random order
+	// must still answer exactly.
+	g := chl.GenerateRoadGrid(6, 6, 8)
+	ord := chl.RankRandom(36, 99)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoLCC, Order: ord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 36; u++ {
+		du := sssp.Dijkstra(g, u)
+		for v := 0; v < 36; v++ {
+			if ix.Query(u, v) != du[v] {
+				t.Fatalf("query(%d,%d) wrong under random order", u, v)
+			}
+		}
+	}
+}
+
+func TestRankAccessors(t *testing.T) {
+	g := chl.GenerateScaleFree(30, 2, 1)
+	ord := chl.RankByDegree(g)
+	ix, err := chl.Build(g, chl.Options{Order: ord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 30; r++ {
+		if ix.Rank(ix.VertexAtRank(r)) != r {
+			t.Fatalf("rank accessors inconsistent at %d", r)
+		}
+	}
+	if ix.VertexAtRank(0) != ord.Perm[0] {
+		t.Fatal("top-ranked vertex mismatch")
+	}
+}

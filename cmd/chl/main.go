@@ -1,0 +1,123 @@
+// Command chl builds a hub labeling index for a graph and reports the
+// paper's key preprocessing metrics (construction time, average label size,
+// label traffic for distributed builds).
+//
+// Usage:
+//
+//	chl -graph road.gr -algo gll -out road.chl
+//	chl -dataset SKIT -algo hybrid -nodes 16
+//	chl -graph web.gr -directed -algo seqpll
+//
+// The graph comes either from a DIMACS .gr file (-graph) or a named
+// synthetic dataset (-dataset, see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	chl "repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "DIMACS .gr file to label")
+		dataset   = flag.String("dataset", "", "named synthetic dataset (see -list)")
+		scale     = flag.Float64("scale", 1, "scale factor for -dataset")
+		directed  = flag.Bool("directed", false, "treat the input graph as directed")
+		algo      = flag.String("algo", "gll", "algorithm: seqpll|sparapll|lcc|gll|plant|dparapll|dgll|dplant|hybrid")
+		ranking   = flag.String("rank", "auto", "ranking: auto|degree|betweenness|identity")
+		workers   = flag.Int("workers", 0, "shared-memory workers (0 = GOMAXPROCS)")
+		nodes     = flag.Int("nodes", 4, "cluster nodes q for distributed algorithms")
+		wpn       = flag.Int("workers-per-node", 1, "threads per cluster node")
+		alpha     = flag.Float64("alpha", 0, "GLL synchronization threshold α (0 = 4)")
+		eta       = flag.Int("eta", 0, "common label table size η (0 = default, -1 = off)")
+		psi       = flag.Float64("psi", 0, "Hybrid switch threshold Ψth (0 = 100)")
+		seed      = flag.Int64("seed", 1, "seed for generation and ranking")
+		out       = flag.String("out", "", "write the index to this file")
+		list      = flag.Bool("list", false, "list dataset and algorithm names")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("datasets: ", strings.Join(chl.DatasetNames(), " "))
+		fmt.Print("algorithms:")
+		for _, a := range chl.Algorithms() {
+			fmt.Printf(" %s", a)
+		}
+		fmt.Println()
+		return
+	}
+
+	g, err := loadGraph(*graphPath, *dataset, *scale, *directed, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d directed=%v\n", g.NumVertices(), g.NumEdges(), g.Directed())
+
+	var ord *chl.Order
+	switch *ranking {
+	case "auto":
+		// leave nil: Build picks per topology
+	case "degree":
+		ord = chl.RankByDegree(g)
+	case "betweenness":
+		ord = chl.RankByBetweenness(g, 16, *seed)
+	case "identity":
+		ord = chl.RankIdentity(g.NumVertices())
+	default:
+		fatal(fmt.Errorf("unknown ranking %q", *ranking))
+	}
+
+	ix, err := chl.Build(g, chl.Options{
+		Algorithm:      chl.Algorithm(*algo),
+		Order:          ord,
+		Workers:        *workers,
+		Alpha:          *alpha,
+		Nodes:          *nodes,
+		WorkersPerNode: *wpn,
+		Eta:            *eta,
+		PsiThreshold:   *psi,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	st := ix.Stats()
+	m := ix.Metrics()
+	fmt.Printf("index: labels=%d ALS=%.2f max=%d bytes=%d\n", st.TotalLabels, st.ALS, st.MaxLabels, st.Bytes)
+	if m != nil {
+		fmt.Printf("build: %s\n", m)
+		if m.Nodes > 0 {
+			fmt.Printf("cluster: traffic=%d bytes, syncs=%d, peak node storage=%d bytes\n",
+				m.BytesSent, m.Synchronizations, m.MaxNodeBytes)
+		}
+	}
+	if *out != "" {
+		if err := ix.SaveFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved index to %s\n", *out)
+	}
+}
+
+func loadGraph(path, dataset string, scale float64, directed bool, seed int64) (*chl.Graph, error) {
+	switch {
+	case path != "" && dataset != "":
+		return nil, fmt.Errorf("pass either -graph or -dataset, not both")
+	case path != "":
+		return chl.ReadDIMACSFile(path, directed)
+	case dataset != "":
+		return chl.GenerateDataset(dataset, scale, seed)
+	default:
+		return nil, fmt.Errorf("pass -graph FILE or -dataset NAME (try -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command chlquery loads a hub-labeling index built by cmd/chl and answers
+// point-to-point shortest distance queries, either interactively ("u v" per
+// line on stdin) or as a random-batch benchmark in any of the paper's three
+// distributed query modes.
+//
+// Usage:
+//
+//	chlquery -index road.chl 17 3942
+//	chlquery -index road.chl            # interactive: one "u v" per line
+//	chlquery -index road.chl -bench 100000 -mode qdol -nodes 16
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	chl "repro"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "", "index file written by cmd/chl")
+		bench     = flag.Int("bench", 0, "run a random batch of this many queries")
+		mode      = flag.String("mode", "qlsn", "query mode for -bench: qlsn|qfdl|qdol")
+		nodes     = flag.Int("nodes", 16, "simulated cluster size for -bench")
+		seed      = flag.Int64("seed", 1, "seed for -bench query generation")
+	)
+	flag.Parse()
+	if *indexPath == "" {
+		fatal(fmt.Errorf("pass -index FILE"))
+	}
+	ix, err := chl.LoadFile(*indexPath)
+	if err != nil {
+		fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("index: n=%d labels=%d ALS=%.2f directed=%v\n", st.Vertices, st.TotalLabels, st.ALS, ix.Directed())
+
+	if *bench > 0 {
+		runBench(ix, *bench, *mode, *nodes, *seed)
+		return
+	}
+	if flag.NArg() == 2 {
+		u, err1 := strconv.Atoi(flag.Arg(0))
+		v, err2 := strconv.Atoi(flag.Arg(1))
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad vertex ids %q %q", flag.Arg(0), flag.Arg(1)))
+		}
+		answer(ix, u, v)
+		return
+	}
+	// Interactive mode.
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 2 {
+			fmt.Println("enter: u v")
+			continue
+		}
+		u, err1 := strconv.Atoi(f[0])
+		v, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= ix.NumVertices() || v >= ix.NumVertices() {
+			fmt.Printf("vertex ids must be in [0,%d)\n", ix.NumVertices())
+			continue
+		}
+		answer(ix, u, v)
+	}
+}
+
+func answer(ix *chl.Index, u, v int) {
+	d, hub, ok := ix.QueryHub(u, v)
+	if !ok || math.IsInf(d, 1) || d == math.MaxFloat64 {
+		fmt.Printf("d(%d,%d) = unreachable\n", u, v)
+		return
+	}
+	fmt.Printf("d(%d,%d) = %g (via hub %d)\n", u, v, d, hub)
+}
+
+func runBench(ix *chl.Index, count int, modeName string, nodes int, seed int64) {
+	var mode chl.QueryMode
+	switch strings.ToLower(modeName) {
+	case "qlsn":
+		mode = chl.ModeQLSN
+	case "qfdl":
+		mode = chl.ModeQFDL
+	case "qdol":
+		mode = chl.ModeQDOL
+	default:
+		fatal(fmt.Errorf("unknown mode %q", modeName))
+	}
+	qe, err := chl.NewQueryEngine(ix, mode, nodes)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := ix.NumVertices()
+	pairs := make([]chl.QueryPair, count)
+	for i := range pairs {
+		pairs[i] = chl.QueryPair{U: rng.Intn(n), V: rng.Intn(n)}
+	}
+	r := qe.Batch(pairs)
+	fmt.Printf("%s on %d nodes: %d queries\n", mode, nodes, count)
+	fmt.Printf("  throughput: %.2f Mq/s (modeled)\n", r.Throughput/1e6)
+	fmt.Printf("  mean latency: %v (modeled)\n", r.MeanLatency)
+	fmt.Printf("  traffic: %d bytes, %d messages\n", r.BytesSent, r.MessagesSent)
+	var peak int64
+	for _, b := range qe.MemoryPerNode() {
+		if b > peak {
+			peak = b
+		}
+	}
+	fmt.Printf("  memory: %.2f MiB total, %.2f MiB peak node\n",
+		float64(qe.TotalMemory())/(1<<20), float64(peak)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chlquery:", err)
+	os.Exit(1)
+}

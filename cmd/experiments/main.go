@@ -1,0 +1,94 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§7) on the synthetic dataset suite and writes a text
+// report. This is the reproduction entry point: compare its output against
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                     # quick suite, report to stdout
+//	experiments -o report.txt       # write to a file
+//	experiments -full -scale 2      # all 12 datasets, larger graphs
+//	experiments -only table3,fig8   # a subset of experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 1, "dataset scale factor")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		workers = flag.Int("workers", 0, "shared-memory workers (0 = GOMAXPROCS)")
+		full    = flag.Bool("full", false, "include the large datasets (CTR, USA, POK, LIJ) and q up to 64")
+		batch   = flag.Int("queries", 100_000, "query batch size for Table 4")
+		only    = flag.String("only", "", "comma-separated subset: intro,table3,table4,fig2..fig9,x2,x3,x4")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := exp.Config{
+		Scale:      *scale,
+		Seed:       *seed,
+		Workers:    *workers,
+		Full:       *full,
+		QueryBatch: *batch,
+	}.Defaults()
+
+	if *only == "" {
+		exp.RunAll(w, cfg)
+		return
+	}
+	for _, name := range strings.Split(*only, ",") {
+		switch strings.TrimSpace(strings.ToLower(name)) {
+		case "intro":
+			exp.WriteQueryBaselines(w, exp.QueryBaselines(cfg))
+		case "table3":
+			exp.WriteTable3(w, exp.Table3(cfg))
+		case "table4":
+			exp.WriteTable4(w, exp.Table4(cfg))
+		case "fig2":
+			exp.WriteFigure2(w, exp.Figure2(cfg))
+		case "fig3":
+			exp.WriteFigure3(w, exp.Figure3(cfg))
+		case "fig4":
+			exp.WriteFigure4(w, exp.Figure4(cfg))
+		case "fig5":
+			exp.WriteFigure5(w, exp.Figure5(cfg))
+		case "fig6":
+			exp.WriteFigure6(w, exp.Figure6(cfg))
+		case "fig7":
+			exp.WriteFigure7(w, exp.Figure7(cfg))
+		case "fig8":
+			exp.WriteFigure8(w, exp.Figure8(cfg))
+		case "fig9":
+			exp.WriteFigure9(w, exp.Figure9(cfg))
+		case "x2":
+			exp.WriteAblationCommonTable(w, exp.AblationCommonTable(cfg))
+		case "x3":
+			exp.WriteAblationTwoTables(w, exp.AblationTwoTables(cfg))
+		case "x4":
+			exp.WriteAblationPlantFirst(w, exp.AblationPlantFirst(cfg))
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(1)
+		}
+	}
+}

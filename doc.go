@@ -1,0 +1,60 @@
+// Package chl is a Go implementation of Canonical Hub Labeling (CHL)
+// construction and point-to-point shortest-distance (PPSD) querying for
+// weighted graphs, reproducing "Planting Trees for scalable and efficient
+// Canonical Hub Labeling" (Lakhotia, Dong, Kannan, Prasanna — VLDB 2019,
+// arXiv:1907.00140).
+//
+// # Overview
+//
+// A hub labeling assigns every vertex v a small set of (hub, distance)
+// pairs such that any PPSD query can be answered by intersecting two label
+// sets. Given a vertex ranking R (a "network hierarchy"), the Canonical Hub
+// Labeling is the unique minimal labeling that respects R: for every
+// connected pair (u,v), exactly the highest-ranked vertex on their shortest
+// paths is a hub of both.
+//
+// The package implements every construction algorithm from the paper:
+//
+//   - AlgoSeqPLL — sequential pruned landmark labeling (Akiba et al.), the
+//     reference CHL constructor.
+//   - AlgoSParaPLL — shared-memory paraPLL (Qiu et al.): fast, parallel,
+//     but NOT canonical (redundant labels grow with the thread count).
+//   - AlgoLCC — parallel Label Construction and Cleaning (§4.1): rank
+//     queries make optimistic parallel mistakes recoverable; a cleaning
+//     pass deletes them. Output: the CHL.
+//   - AlgoGLL — Global Local Labeling (§4.2): interleaved cleaning against
+//     a small local table, lock-free global reads. Output: the CHL.
+//   - AlgoPLaNT — "Plant Labels and (do) Not (prune) Trees" (§5.2):
+//     embarrassingly parallel canonical labeling via ancestor-tracking
+//     unpruned Dijkstras. Output: the CHL, with no dependence on other
+//     trees' labels.
+//   - AlgoDParaPLL, AlgoDGLL, AlgoDPLaNT, AlgoHybrid — the distributed
+//     algorithms of §3/§5, executed on a simulated message-passing cluster
+//     that meters every byte (see below).
+//
+// and the three distributed query modes of §6 (QLSN, QFDL, QDOL).
+//
+// # Quick start
+//
+//	g := chl.GenerateRoadGrid(64, 64, 1)            // or chl.ReadDIMACSFile(...)
+//	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
+//	if err != nil { ... }
+//	d := ix.Query(17, 3942)                         // exact shortest distance
+//
+// # Distributed execution
+//
+// The paper runs on a 64-node MPI cluster. This package simulates that
+// cluster with one goroutine per node and collectives that copy and meter
+// all traffic, so the quantities the paper's distributed evaluation is
+// about — label traffic, synchronizations, per-node memory, label-size
+// growth — are reproduced exactly; see DESIGN.md for the substitution
+// rationale. Use Options.Nodes > 1 with a distributed algorithm, then
+// NewQueryEngine to query under QLSN/QFDL/QDOL.
+//
+// # Rankings
+//
+// Rankings are chl.Order values: RankByDegree (the paper's choice for
+// scale-free graphs), RankByBetweenness (sampled approximate betweenness,
+// the paper's choice for road networks), RankAuto (picks between them),
+// or any custom permutation via RankFromPerm.
+package chl

@@ -1,0 +1,62 @@
+package chl_test
+
+import (
+	"fmt"
+
+	chl "repro"
+)
+
+// The canonical quickstart: build a labeling, answer a query.
+func ExampleBuild() {
+	g := chl.GenerateRoadGrid(8, 8, 1)
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("d(0,63) = %g\n", ix.Query(0, 63))
+	// Output: d(0,63) = 38
+}
+
+// Distributed construction partitions labels across simulated cluster
+// nodes; the index still answers exactly.
+func ExampleBuild_distributed() {
+	g := chl.GenerateScaleFree(256, 3, 1)
+	ord := chl.RankByDegree(g)
+	shared, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoSeqPLL, Order: ord})
+	hybrid, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoHybrid, Order: ord, Nodes: 4})
+	fmt.Println("same ALS:", shared.Stats().ALS == hybrid.Stats().ALS)
+	fmt.Println("same answer:", shared.Query(3, 250) == hybrid.Query(3, 250))
+	// Output:
+	// same ALS: true
+	// same answer: true
+}
+
+// Path retrieval reconstructs the actual shortest path, not just its
+// length.
+func ExampleBuildWithPaths() {
+	g := chl.GenerateRoadGrid(4, 4, 1) // 4×4 grid, vertex ids row-major
+	px, err := chl.BuildWithPaths(g, chl.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	path, dist, ok := px.Path(0, 15)
+	fmt.Println("reachable:", ok, "hops:", len(path)-1, "length:", dist)
+	fmt.Println("starts at", path[0], "ends at", path[len(path)-1])
+	// Output:
+	// reachable: true hops: 6 length: 20
+	// starts at 0 ends at 15
+}
+
+// Query engines deploy a built index across simulated nodes under the
+// paper's three modes.
+func ExampleNewQueryEngine() {
+	g := chl.GenerateScaleFree(200, 3, 2)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoDPLaNT, Nodes: 6})
+	qe, err := chl.NewQueryEngine(ix, chl.ModeQDOL, 6)
+	if err != nil {
+		panic(err)
+	}
+	d, _ := qe.Query(0, 199)
+	fmt.Println("matches local query:", d == ix.Query(0, 199))
+	// Output: matches local query: true
+}

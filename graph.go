@@ -1,0 +1,93 @@
+package chl
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// Graph is a weighted graph in compressed sparse row form. Edge weights
+// must be strictly positive. Construct one with NewGraphBuilder, a
+// generator, or a reader below.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges into an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// Infinity is the distance reported for unreachable vertex pairs.
+const Infinity = graph.Infinity
+
+// NewGraphBuilder returns a builder for a graph with n vertices.
+func NewGraphBuilder(n int, directed bool) *GraphBuilder {
+	return graph.NewBuilder(n, directed)
+}
+
+// GenerateRoadGrid builds a road-network-like lattice graph (high diameter,
+// low tree-width): the synthetic twin of the paper's DIMACS road datasets.
+func GenerateRoadGrid(rows, cols int, seed int64) *Graph {
+	return graph.RoadGrid(rows, cols, seed)
+}
+
+// GenerateScaleFree builds a Barabási–Albert scale-free graph with uniform
+// [1, √n) weights (§7.1.1): the synthetic twin of the paper's social and
+// web datasets.
+func GenerateScaleFree(n, edgesPerVertex int, seed int64) *Graph {
+	return graph.BarabasiAlbert(n, edgesPerVertex, seed)
+}
+
+// GenerateRandom builds an Erdős–Rényi-style random graph with m undirected
+// edges and integer weights in [1, maxWeight].
+func GenerateRandom(n, m, maxWeight int, seed int64) *Graph {
+	return graph.ErdosRenyi(n, m, maxWeight, seed)
+}
+
+// GenerateRandomDirected builds a random directed graph.
+func GenerateRandomDirected(n, m, maxWeight int, seed int64) *Graph {
+	return graph.RandomDirected(n, m, maxWeight, seed)
+}
+
+// GenerateDataset builds one of the named synthetic datasets used by the
+// experiment harness ("CAL", "SKIT", ... — see DatasetNames). scale
+// multiplies the baseline size; 1 targets seconds of preprocessing.
+func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
+	return graph.GenerateByName(name, scale, seed)
+}
+
+// DatasetNames lists the synthetic dataset names, in the order of the
+// paper's Table 2.
+func DatasetNames() []string { return graph.DatasetNames() }
+
+// ReadDIMACS parses a DIMACS shortest-path (.gr) graph.
+func ReadDIMACS(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadDIMACS(r, directed)
+}
+
+// ReadDIMACSFile parses a DIMACS .gr file from disk.
+func ReadDIMACSFile(path string, directed bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadDIMACS(f, directed)
+}
+
+// WriteDIMACS writes a graph in DIMACS .gr format.
+func WriteDIMACS(w io.Writer, g *Graph) error { return graph.WriteDIMACS(w, g) }
+
+// ReadEdgeList parses a whitespace "u v [w]" edge list (0-indexed; '#'/'%'
+// comments).
+func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ReadEdgeList(r, directed)
+}
+
+// WriteEdgeList writes a graph as a 0-indexed edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// LargestComponent returns the subgraph induced by the largest (weakly)
+// connected component and the mapping from new ids to the originals.
+func LargestComponent(g *Graph) (*Graph, []int) { return graph.LargestComponent(g) }
+
+// IsConnected reports whether g is (weakly) connected.
+func IsConnected(g *Graph) bool { return graph.IsConnected(g) }

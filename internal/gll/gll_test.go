@@ -1,0 +1,115 @@
+package gll
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/pll"
+	"repro/internal/verify"
+)
+
+func TestRunProducesCHL(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.ErdosRenyi(55, 130, 6, seed)
+		want, _ := pll.Sequential(g, pll.Options{})
+		for _, workers := range []int{1, 2, 8} {
+			for _, alpha := range []float64{0.5, 2, 4, 32} {
+				ix, _ := Run(g, Options{Workers: workers, Alpha: alpha})
+				if diff := want.Diff(ix); diff != "" {
+					t.Fatalf("seed %d workers %d α=%v: %s", seed, workers, alpha, diff)
+				}
+			}
+		}
+	}
+}
+
+func TestSuperstepsScaleWithAlpha(t *testing.T) {
+	g := graph.RoadGrid(10, 10, 1)
+	m1 := &metrics.Build{}
+	st1 := NewState(g, Options{Workers: 2, Alpha: 0.5})
+	for !st1.Done() {
+		st1.Superstep(m1)
+	}
+	m2 := &metrics.Build{}
+	st2 := NewState(g, Options{Workers: 2, Alpha: 64})
+	for !st2.Done() {
+		st2.Superstep(m2)
+	}
+	if st1.Steps() <= st2.Steps() {
+		t.Fatalf("α=0.5 took %d supersteps, α=64 took %d — smaller α must sync more",
+			st1.Steps(), st2.Steps())
+	}
+	if m1.Synchronizations != int64(st1.Steps()) {
+		t.Fatalf("synchronization counter %d != steps %d", m1.Synchronizations, st1.Steps())
+	}
+	// Both end at the same CHL.
+	if diff := st1.Index().Diff(st2.Index()); diff != "" {
+		t.Fatal(diff)
+	}
+}
+
+func TestGlobalTableGrowsMonotonically(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 3)
+	st := NewState(g, Options{Workers: 2, Alpha: 1})
+	m := &metrics.Build{}
+	prev := int64(0)
+	for !st.Done() {
+		st.Superstep(m)
+		var total int64
+		for v := 0; v < g.NumVertices(); v++ {
+			s := st.GlobalLabels(v)
+			if !s.IsSorted() {
+				t.Fatalf("global table of %d unsorted mid-run", v)
+			}
+			total += int64(len(s))
+		}
+		if total < prev {
+			t.Fatalf("global table shrank: %d → %d", prev, total)
+		}
+		prev = total
+	}
+	if err := verify.IsCHL(g, st.Index()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleaningCheaperThanLCCWouldBe(t *testing.T) {
+	// GLL's whole point (§4.2): cleaning queries only run against local
+	// labels, so their count is bounded by labels *generated*, not by
+	// (labels × supersteps).
+	g := graph.BarabasiAlbert(150, 4, 5)
+	_, m := Run(g, Options{Workers: 2, Alpha: 4})
+	if m.CleanQueries > m.LabelsGenerated {
+		t.Fatalf("clean queries %d exceed generated labels %d", m.CleanQueries, m.LabelsGenerated)
+	}
+	if m.CleanQueries == 0 {
+		t.Fatal("no cleaning queries at all")
+	}
+}
+
+func TestProfilingCountsLocks(t *testing.T) {
+	g := graph.RoadGrid(6, 6, 1)
+	st := NewState(g, Options{Workers: 2, Alpha: 4, Profile: true})
+	m := &metrics.Build{}
+	for !st.Done() {
+		st.Superstep(m)
+	}
+	if st.LockCount() == 0 {
+		t.Fatal("profiling recorded no local-table locks")
+	}
+}
+
+func TestDegenerateBudget(t *testing.T) {
+	// α so small the budget is < 1 label per superstep must still
+	// terminate (budget clamps to 1).
+	g := graph.Path(12, 1)
+	ix, m := Run(g, Options{Workers: 1, Alpha: 1e-9})
+	want, _ := pll.Sequential(g, pll.Options{})
+	if diff := want.Diff(ix); diff != "" {
+		t.Fatal(diff)
+	}
+	if m.Synchronizations < 2 {
+		t.Fatalf("expected many supersteps, got %d", m.Synchronizations)
+	}
+}

@@ -1,0 +1,336 @@
+// Package graph provides the weighted-graph substrate used by every hub
+// labeling algorithm in this repository: a compact CSR (compressed sparse
+// row) representation, a mutable builder, generators for the topology
+// families evaluated in the paper (road-like lattices and scale-free
+// networks), DIMACS and edge-list I/O, and basic structural utilities
+// (transpose, permutation, connected components).
+//
+// Vertices are dense integers in [0, N). Edge weights are strictly positive
+// float64 values; every constructor rejects non-positive weights because the
+// labeling algorithms (and the exactness of PLaNT's ancestor propagation,
+// see DESIGN.md §3) rely on them.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Infinity is the distance assigned to unreachable vertices.
+const Infinity = math.MaxFloat64
+
+// Graph is an immutable weighted graph in CSR form. For undirected graphs
+// every edge {u,v} is stored as the two arcs u→v and v→u. Use a Builder to
+// construct one.
+type Graph struct {
+	n        int
+	directed bool
+	off      []int64   // len n+1; arcs of u are adj[off[u]:off[u+1]]
+	adj      []uint32  // arc heads
+	wts      []float64 // arc weights, parallel to adj
+
+	// reverse CSR, present only for directed graphs (lazily built by
+	// Builder.Finish so that Graph itself stays immutable).
+	roff []int64
+	radj []uint32
+	rwts []float64
+}
+
+// NumVertices returns the number of vertices |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumArcs returns the number of stored arcs. For an undirected graph this is
+// twice the number of edges.
+func (g *Graph) NumArcs() int { return len(g.adj) }
+
+// NumEdges returns |E|: the number of undirected edges, or the number of
+// directed arcs for a directed graph.
+func (g *Graph) NumEdges() int {
+	if g.directed {
+		return len(g.adj)
+	}
+	return len(g.adj) / 2
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int) int { return int(g.off[u+1] - g.off[u]) }
+
+// InDegree returns the in-degree of u (equal to Degree for undirected graphs).
+func (g *Graph) InDegree(u int) int {
+	if !g.directed {
+		return g.Degree(u)
+	}
+	return int(g.roff[u+1] - g.roff[u])
+}
+
+// Neighbors returns the arc heads and weights of u's outgoing arcs. The
+// returned slices alias the graph's internal storage and must not be
+// modified.
+func (g *Graph) Neighbors(u int) ([]uint32, []float64) {
+	lo, hi := g.off[u], g.off[u+1]
+	return g.adj[lo:hi], g.wts[lo:hi]
+}
+
+// InNeighbors returns the arc tails and weights of u's incoming arcs. For an
+// undirected graph this is identical to Neighbors.
+func (g *Graph) InNeighbors(u int) ([]uint32, []float64) {
+	if !g.directed {
+		return g.Neighbors(u)
+	}
+	lo, hi := g.roff[u], g.roff[u+1]
+	return g.radj[lo:hi], g.rwts[lo:hi]
+}
+
+// HasEdge reports whether an arc u→v exists, and returns its weight. If
+// parallel arcs exist the minimum weight is returned.
+func (g *Graph) HasEdge(u, v int) (float64, bool) {
+	w, found := Infinity, false
+	heads, wts := g.Neighbors(u)
+	for i, h := range heads {
+		if int(h) == v && wts[i] < w {
+			w, found = wts[i], true
+		}
+	}
+	return w, found
+}
+
+// MaxWeight returns the largest arc weight, or 0 for an edgeless graph.
+func (g *Graph) MaxWeight() float64 {
+	maxw := 0.0
+	for _, w := range g.wts {
+		if w > maxw {
+			maxw = w
+		}
+	}
+	return maxw
+}
+
+// TotalWeight returns the sum of all arc weights (each undirected edge
+// counted twice).
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, w := range g.wts {
+		s += w
+	}
+	return s
+}
+
+// Transpose returns the reverse graph (arcs flipped). For undirected graphs
+// it returns the receiver itself.
+func (g *Graph) Transpose() *Graph {
+	if !g.directed {
+		return g
+	}
+	return &Graph{
+		n: g.n, directed: true,
+		off: g.roff, adj: g.radj, wts: g.rwts,
+		roff: g.off, radj: g.adj, rwts: g.wts,
+	}
+}
+
+// Permute relabels the vertices of g so that new vertex i corresponds to old
+// vertex perm[i]. In other words perm lists the old ids in their new order,
+// which is exactly how ranking functions are expressed (perm[0] = the
+// highest-ranked vertex). The inverse mapping newID[old] is also returned.
+func (g *Graph) Permute(perm []int) (*Graph, []int) {
+	if len(perm) != g.n {
+		panic(fmt.Sprintf("graph: Permute with %d ids on %d vertices", len(perm), g.n))
+	}
+	newID := make([]int, g.n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for newV, oldV := range perm {
+		if oldV < 0 || oldV >= g.n || newID[oldV] != -1 {
+			panic(fmt.Sprintf("graph: Permute: perm is not a permutation (entry %d=%d)", newV, oldV))
+		}
+		newID[oldV] = newV
+	}
+	b := NewBuilder(g.n, g.directed)
+	for newU, oldU := range perm {
+		heads, wts := g.Neighbors(oldU)
+		for i, h := range heads {
+			newV := newID[h]
+			if g.directed || newU < newV {
+				b.AddEdge(newU, newV, wts[i])
+			}
+		}
+	}
+	ng, err := b.Finish()
+	if err != nil {
+		panic("graph: Permute: " + err.Error()) // cannot happen: weights already validated
+	}
+	return ng, newID
+}
+
+// Clone returns a deep copy of g. Algorithms never mutate a Graph, but the
+// cluster simulator clones graphs to model per-node private copies.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{n: g.n, directed: g.directed}
+	ng.off = append([]int64(nil), g.off...)
+	ng.adj = append([]uint32(nil), g.adj...)
+	ng.wts = append([]float64(nil), g.wts...)
+	ng.roff = append([]int64(nil), g.roff...)
+	ng.radj = append([]uint32(nil), g.radj...)
+	ng.rwts = append([]float64(nil), g.rwts...)
+	return ng
+}
+
+// MemoryBytes estimates the CSR storage footprint in bytes. It is used by
+// the experiment harness when reporting per-node memory (Lemma 5: O(n+m)).
+func (g *Graph) MemoryBytes() int64 {
+	b := int64(len(g.off)+len(g.roff)) * 8
+	b += int64(len(g.adj)+len(g.radj)) * 4
+	b += int64(len(g.wts)+len(g.rwts)) * 8
+	return b
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with out-degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxd := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > maxd {
+			maxd = d
+		}
+	}
+	counts := make([]int, maxd+1)
+	for u := 0; u < g.n; u++ {
+		counts[g.Degree(u)]++
+	}
+	return counts
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero value
+// is not usable; call NewBuilder.
+type Builder struct {
+	n        int
+	directed bool
+	tails    []uint32
+	heads    []uint32
+	wts      []float64
+	err      error
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: NewBuilder with negative vertex count")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records an edge (arc, for a directed builder) u→v with weight w.
+// Self loops are ignored: they can never lie on a shortest path with
+// positive weights. Errors (bad endpoints, non-positive weight) are sticky
+// and reported by Finish.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+		return
+	}
+	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+		b.err = fmt.Errorf("graph: edge (%d,%d) has non-positive weight %v", u, v, w)
+		return
+	}
+	if u == v {
+		return
+	}
+	b.tails = append(b.tails, uint32(u))
+	b.heads = append(b.heads, uint32(v))
+	b.wts = append(b.wts, w)
+	if !b.directed {
+		b.tails = append(b.tails, uint32(v))
+		b.heads = append(b.heads, uint32(u))
+		b.wts = append(b.wts, w)
+	}
+}
+
+// NumPending returns the number of arcs recorded so far.
+func (b *Builder) NumPending() int { return len(b.tails) }
+
+// Finish sorts the accumulated arcs into CSR form, deduplicates parallel
+// arcs (keeping the minimum weight), and returns the immutable Graph.
+func (b *Builder) Finish() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{n: b.n, directed: b.directed}
+	g.off, g.adj, g.wts = buildCSR(b.n, b.tails, b.heads, b.wts)
+	if b.directed {
+		g.roff, g.radj, g.rwts = buildCSR(b.n, b.heads, b.tails, b.wts)
+	}
+	return g, nil
+}
+
+// MustFinish is Finish for callers (generators, tests) whose input is
+// correct by construction.
+func (b *Builder) MustFinish() *Graph {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildCSR counting-sorts the arc list by tail, then sorts each adjacency
+// row by head and removes parallel duplicates keeping the lightest arc.
+func buildCSR(n int, tails, heads []uint32, wts []float64) ([]int64, []uint32, []float64) {
+	off := make([]int64, n+1)
+	for _, t := range tails {
+		off[t+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]uint32, len(heads))
+	w := make([]float64, len(heads))
+	next := make([]int64, n)
+	copy(next, off[:n])
+	for i, t := range tails {
+		p := next[t]
+		adj[p] = heads[i]
+		w[p] = wts[i]
+		next[t] = p + 1
+	}
+	// Sort each row and deduplicate in place.
+	out := int64(0)
+	newOff := make([]int64, n+1)
+	for u := 0; u < n; u++ {
+		lo, hi := off[u], off[u+1]
+		row := arcRow{adj[lo:hi], w[lo:hi]}
+		sort.Sort(row)
+		newOff[u] = out
+		for i := lo; i < hi; i++ {
+			if i > lo && adj[i] == adj[out-1] {
+				if w[i] < w[out-1] {
+					w[out-1] = w[i]
+				}
+				continue
+			}
+			adj[out] = adj[i]
+			w[out] = w[i]
+			out++
+		}
+	}
+	newOff[n] = out
+	return newOff, adj[:out:out], w[:out:out]
+}
+
+type arcRow struct {
+	adj []uint32
+	wts []float64
+}
+
+func (r arcRow) Len() int           { return len(r.adj) }
+func (r arcRow) Less(i, j int) bool { return r.adj[i] < r.adj[j] }
+func (r arcRow) Swap(i, j int) {
+	r.adj[i], r.adj[j] = r.adj[j], r.adj[i]
+	r.wts[i], r.wts[j] = r.wts[j], r.wts[i]
+}

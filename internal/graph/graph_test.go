@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 2, 9) // self loop: dropped
+	g, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 || g.NumArcs() != 4 {
+		t.Fatalf("n=%d m=%d arcs=%d", g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+	if g.Degree(1) != 2 || g.Degree(3) != 0 {
+		t.Fatalf("degrees: %d %d", g.Degree(1), g.Degree(3))
+	}
+	if w, ok := g.HasEdge(1, 0); !ok || w != 2 {
+		t.Fatalf("HasEdge(1,0) = %v,%v", w, ok)
+	}
+	if _, ok := g.HasEdge(0, 3); ok {
+		t.Fatal("phantom edge 0-3")
+	}
+}
+
+func TestBuilderRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		u, v int
+		w    float64
+	}{
+		{-1, 0, 1}, {0, 5, 1}, {0, 1, 0}, {0, 1, -2},
+		{0, 1, math.Inf(1)}, {0, 1, math.NaN()},
+	}
+	for _, c := range cases {
+		b := NewBuilder(3, false)
+		b.AddEdge(c.u, c.v, c.w)
+		if _, err := b.Finish(); err == nil {
+			t.Errorf("edge (%d,%d,%v) accepted, want error", c.u, c.v, c.w)
+		}
+	}
+}
+
+func TestParallelEdgeDeduplication(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 0, 7)
+	g := b.MustFinish()
+	if g.NumArcs() != 2 {
+		t.Fatalf("arcs = %d, want 2 after dedup", g.NumArcs())
+	}
+	if w, _ := g.HasEdge(0, 1); w != 3 {
+		t.Fatalf("kept weight %v, want the minimum 3", w)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	g := ErdosRenyi(50, 200, 9, 7)
+	for u := 0; u < g.NumVertices(); u++ {
+		heads, _ := g.Neighbors(u)
+		for i := 1; i < len(heads); i++ {
+			if heads[i-1] >= heads[i] {
+				t.Fatalf("row %d not strictly sorted at %d", u, i)
+			}
+		}
+	}
+}
+
+func TestDirectedTranspose(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	g := b.MustFinish()
+	if g.Degree(1) != 1 || g.InDegree(1) != 1 {
+		t.Fatalf("deg(1)=%d in(1)=%d", g.Degree(1), g.InDegree(1))
+	}
+	gt := g.Transpose()
+	if w, ok := gt.HasEdge(1, 0); !ok || w != 1 {
+		t.Fatalf("transpose missing arc 1→0: %v %v", w, ok)
+	}
+	if _, ok := gt.HasEdge(0, 1); ok {
+		t.Fatal("transpose kept forward arc 0→1")
+	}
+	if gt.Transpose() == nil || gt.Transpose().NumArcs() != g.NumArcs() {
+		t.Fatal("double transpose broken")
+	}
+}
+
+func TestUndirectedTransposeIsSelf(t *testing.T) {
+	g := Path(5, 1)
+	if g.Transpose() != g {
+		t.Fatal("undirected transpose should return the receiver")
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	g := ErdosRenyi(40, 120, 5, 3)
+	perm := make([]int, 40)
+	for i := range perm {
+		perm[i] = (i*17 + 5) % 40 // a fixed permutation
+	}
+	pg, newID := g.Permute(perm)
+	if pg.NumArcs() != g.NumArcs() {
+		t.Fatalf("arcs %d → %d after permute", g.NumArcs(), pg.NumArcs())
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		heads, wts := g.Neighbors(u)
+		for i, h := range heads {
+			w, ok := pg.HasEdge(newID[u], newID[h])
+			if !ok || w != wts[i] {
+				t.Fatalf("edge (%d,%d,w=%v) lost after permute: got %v,%v", u, h, wts[i], w, ok)
+			}
+		}
+	}
+}
+
+func TestPermutePanicsOnBadPerm(t *testing.T) {
+	g := Path(3, 1)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Permute(%v) did not panic", perm)
+				}
+			}()
+			g.Permute(perm)
+		}()
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	road := RoadGrid(10, 12, 1)
+	if road.NumVertices() != 120 {
+		t.Fatalf("road n=%d", road.NumVertices())
+	}
+	if !IsConnected(road) {
+		t.Fatal("road grid must be connected")
+	}
+	ba := BarabasiAlbert(300, 3, 2)
+	if ba.NumVertices() != 300 {
+		t.Fatalf("ba n=%d", ba.NumVertices())
+	}
+	if !IsConnected(ba) {
+		t.Fatal("preferential-attachment graph must be connected")
+	}
+	// Scale-free: max degree far above average.
+	maxd, sum := 0, 0
+	for v := 0; v < ba.NumVertices(); v++ {
+		d := ba.Degree(v)
+		sum += d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	avg := float64(sum) / 300
+	if float64(maxd) < 3*avg {
+		t.Fatalf("BA max degree %d not scale-free vs avg %.1f", maxd, avg)
+	}
+	// §7.1.1 weight law: integer weights in [1, √n).
+	if w := ba.MaxWeight(); w >= math.Sqrt(300)+1 {
+		t.Fatalf("BA max weight %v exceeds √n", w)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := BarabasiAlbert(200, 3, 99)
+	b := BarabasiAlbert(200, 3, 99)
+	if a.NumArcs() != b.NumArcs() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ha, wa := a.Neighbors(u)
+		hb, wb := b.Neighbors(u)
+		if len(ha) != len(hb) {
+			t.Fatalf("vertex %d degree differs", u)
+		}
+		for i := range ha {
+			if ha[i] != hb[i] || wa[i] != wb[i] {
+				t.Fatalf("vertex %d arc %d differs", u, i)
+			}
+		}
+	}
+	if c := BarabasiAlbert(200, 3, 100); c.NumArcs() == a.NumArcs() {
+		// Different seeds may coincide in arc count; compare rows too.
+		same := true
+		for u := 0; u < a.NumVertices() && same; u++ {
+			ha, _ := a.Neighbors(u)
+			hc, _ := c.Neighbors(u)
+			if len(ha) != len(hc) {
+				same = false
+				break
+			}
+			for i := range ha {
+				if ha[i] != hc[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestFigure1Distances(t *testing.T) {
+	g := Figure1()
+	// Distances asserted from the worked example in Figures 1b/1c.
+	checks := []struct {
+		u, v int
+		w    float64
+	}{
+		{0, 1, 3}, {0, 3, 5}, {1, 2, 10}, {1, 4, 14}, {2, 4, 2}, {3, 4, 4},
+	}
+	for _, c := range checks {
+		if w, ok := g.HasEdge(c.u, c.v); !ok || w != c.w {
+			t.Fatalf("edge v%d–v%d = %v,%v want %v", c.u+1, c.v+1, w, ok, c.w)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(7, false)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.MustFinish() // components {0,1,2}, {3,4}, {5}, {6}
+	comp, count := Components(g)
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[5] == comp[6] {
+		t.Fatalf("bad component labels %v", comp)
+	}
+	lc, ids := LargestComponent(g)
+	if lc.NumVertices() != 3 || len(ids) != 3 {
+		t.Fatalf("largest component has %d vertices, want 3", lc.NumVertices())
+	}
+}
+
+func TestDirectedWeakComponents(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 1, 1) // weakly connects 2 despite direction
+	g := b.MustFinish()
+	_, count := Components(g)
+	if count != 2 {
+		t.Fatalf("weak components = %d, want 2 ({0,1,2},{3})", count)
+	}
+}
+
+func TestGenerateByName(t *testing.T) {
+	for _, name := range DatasetNames() {
+		g, err := GenerateByName(name, 0.1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() < 16 {
+			t.Fatalf("%s: tiny graph %d", name, g.NumVertices())
+		}
+	}
+	if _, err := GenerateByName("nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// Property: for any generated random graph, CSR round-trips through
+// Clone/Permute(identity) unchanged.
+func TestCSRInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := ErdosRenyi(30, 60, 7, seed)
+		c := g.Clone()
+		if c.NumArcs() != g.NumArcs() || c.NumVertices() != g.NumVertices() {
+			return false
+		}
+		id := make([]int, g.NumVertices())
+		for i := range id {
+			id[i] = i
+		}
+		p, _ := g.Permute(id)
+		for u := 0; u < g.NumVertices(); u++ {
+			h1, w1 := g.Neighbors(u)
+			h2, w2 := p.Neighbors(u)
+			if len(h1) != len(h2) {
+				return false
+			}
+			for i := range h1 {
+				if h1[i] != h2[i] || w1[i] != w2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytesAndHistogram(t *testing.T) {
+	g := Star(11, 1)
+	if g.MemoryBytes() <= 0 {
+		t.Fatal("non-positive memory estimate")
+	}
+	h := g.DegreeHistogram()
+	if h[1] != 10 || h[10] != 1 {
+		t.Fatalf("star histogram wrong: %v", h)
+	}
+	if g.TotalWeight() != 20 { // 10 edges × weight 1 × 2 arcs
+		t.Fatalf("total weight %v", g.TotalWeight())
+	}
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() || a.Directed() != b.Directed() {
+		return false
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ha, wa := a.Neighbors(u)
+		hb, wb := b.Neighbors(u)
+		if len(ha) != len(hb) {
+			return false
+		}
+		for i := range ha {
+			if ha[i] != hb[i] || wa[i] != wb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{
+		RoadGrid(6, 7, 1),
+		BarabasiAlbert(50, 3, 2),
+		RandomDirected(40, 120, 9, 3),
+	} {
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDIMACS(&buf, g.Directed())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatal("DIMACS round trip changed the graph")
+		}
+	}
+}
+
+func TestDIMACSParsing(t *testing.T) {
+	in := `c a comment
+p sp 3 2
+a 1 2 5
+a 2 3 2.5
+`
+	g, err := ReadDIMACS(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if w, ok := g.HasEdge(1, 2); !ok || w != 2.5 {
+		t.Fatalf("edge 2-3: %v %v", w, ok)
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no problem line
+		"p sp x 1\n",            // bad n
+		"a 1 2 3\n",             // arc before problem
+		"p sp 2 1\nz 1 2 3\n",   // unknown record
+		"p sp 2 1\na 1 2\n",     // short arc
+		"p sp 2 1\na 1 2 -4\n",  // negative weight
+		"p sp 2 1\na 1 9 1\n",   // endpoint out of range
+		"p nope 2 1\na 1 2 1\n", // wrong problem kind
+		"p sp 2 1\na one 2 1\n", // unparseable
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in), false); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := ErdosRenyi(30, 80, 6, 4)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex count can shrink if trailing vertices are isolated; compare
+	// edges only when counts match.
+	if back.NumVertices() == g.NumVertices() && !graphsEqual(g, back) {
+		t.Fatal("edge list round trip changed the graph")
+	}
+}
+
+func TestEdgeListParsing(t *testing.T) {
+	in := "# comment\n% another\n0 1\n1 2 4.5\n\n"
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w, _ := g.HasEdge(0, 1); w != 1 {
+		t.Fatalf("default weight %v, want 1", w)
+	}
+	for _, bad := range []string{"0\n", "a b\n", "0 1 x\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad), false); err == nil {
+			t.Errorf("edge list %q accepted", bad)
+		}
+	}
+}
+
+func TestWeightFormatting(t *testing.T) {
+	b := NewBuilder(2, false)
+	b.AddEdge(0, 1, 2.25)
+	g := b.MustFinish()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.25") {
+		t.Fatalf("fractional weight lost: %q", buf.String())
+	}
+	back, err := ReadDIMACS(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := back.HasEdge(0, 1); w != 2.25 {
+		t.Fatalf("weight %v after round trip", w)
+	}
+}

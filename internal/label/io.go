@@ -1,0 +1,129 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary index format:
+//
+//	magic   [4]byte  "CHL1"
+//	n       uint32   vertex count
+//	perVertex:
+//	  count uint32
+//	  count × { hub uint32, dist float64 }  (little endian)
+//
+// The format stores the index in rank space; callers that need to persist
+// the rank permutation (the public API does) write it alongside via
+// WritePerm/ReadPerm.
+
+var magic = [4]byte{'C', 'H', 'L', '1'}
+
+// WriteIndex serializes ix to w.
+func WriteIndex(w io.Writer, ix *Index) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [12]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(ix.NumVertices()))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for v := 0; v < ix.NumVertices(); v++ {
+		s := ix.Labels(v)
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(s)))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+		for _, l := range s {
+			binary.LittleEndian.PutUint32(buf[:4], l.Hub)
+			binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(l.Dist))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIndex deserializes an index written by WriteIndex.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("label: reading magic: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("label: bad magic %q", hdr[:])
+	}
+	var buf [12]byte
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("label: reading vertex count: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:4]))
+	ix := NewIndex(n)
+	for v := 0; v < n; v++ {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("label: reading count of vertex %d: %w", v, err)
+		}
+		c := int(binary.LittleEndian.Uint32(buf[:4]))
+		s := make(Set, c)
+		for i := 0; i < c; i++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("label: reading label %d of vertex %d: %w", i, v, err)
+			}
+			s[i].Hub = binary.LittleEndian.Uint32(buf[:4])
+			s[i].Dist = math.Float64frombits(binary.LittleEndian.Uint64(buf[4:]))
+		}
+		if !s.IsSorted() {
+			return nil, fmt.Errorf("label: vertex %d labels not sorted in input", v)
+		}
+		ix.SetLabels(v, s)
+	}
+	return ix, nil
+}
+
+// WritePerm serializes a permutation (rank → original id).
+func WritePerm(w io.Writer, perm []int) error {
+	bw := bufio.NewWriter(w)
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(perm)))
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, p := range perm {
+		binary.LittleEndian.PutUint32(buf[:], uint32(p))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPerm deserializes a permutation written by WritePerm.
+func ReadPerm(r io.Reader) ([]int, error) {
+	br := bufio.NewReader(r)
+	var buf [4]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("label: reading perm length: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(buf[:]))
+	perm := make([]int, n)
+	seen := make([]bool, n)
+	for i := range perm {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("label: reading perm entry %d: %w", i, err)
+		}
+		p := int(binary.LittleEndian.Uint32(buf[:]))
+		if p >= n || seen[p] {
+			return nil, fmt.Errorf("label: perm entry %d=%d is not a permutation", i, p)
+		}
+		seen[p] = true
+		perm[i] = p
+	}
+	return perm, nil
+}

@@ -1,0 +1,159 @@
+package label
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentStoreParallelAppend(t *testing.T) {
+	const n, workers, per = 50, 8, 200
+	cs := NewConcurrentStore(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				v := rng.Intn(n)
+				cs.Append(v, L{Hub: uint32(w*per + i), Dist: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for v := 0; v < n; v++ {
+		total += cs.Len(v)
+	}
+	if total != workers*per {
+		t.Fatalf("stored %d labels, want %d", total, workers*per)
+	}
+	ix := cs.Seal()
+	if err := ix.Validate(); err == nil {
+		// Hubs were synthetic and > n, so Validate must fail — this
+		// asserts Seal sorted the sets but kept contents.
+		t.Fatal("Validate accepted out-of-range hubs")
+	}
+	for v := 0; v < n; v++ {
+		if !ix.Labels(v).IsSorted() {
+			t.Fatalf("vertex %d not sorted after Seal", v)
+		}
+	}
+}
+
+func TestConcurrentStoreQueryAgainst(t *testing.T) {
+	cs := NewConcurrentStore(3)
+	cs.Append(1, L{Hub: 2, Dist: 3})
+	hd := NewHashDist(5)
+	hd.Add(2, 4)
+	if !cs.QueryAgainst(hd, 1, 7) {
+		t.Fatal("witness 3+4 ≤ 7 missed")
+	}
+	if cs.QueryAgainst(hd, 1, 6.5) {
+		t.Fatal("phantom witness")
+	}
+	if cs.QueryAgainst(hd, 0, 100) {
+		t.Fatal("empty vertex matched")
+	}
+}
+
+func TestConcurrentStoreDrain(t *testing.T) {
+	cs := NewConcurrentStore(2)
+	cs.Append(0, L{Hub: 1, Dist: 2})
+	out := cs.Drain()
+	if len(out[0]) != 1 || cs.Len(0) != 0 {
+		t.Fatal("Drain did not move labels")
+	}
+	cs.Append(0, L{Hub: 2, Dist: 1}) // reusable after Drain
+	if cs.Len(0) != 1 {
+		t.Fatal("store unusable after Drain")
+	}
+}
+
+func TestConcurrentStoreProfiling(t *testing.T) {
+	cs := NewConcurrentStore(2)
+	cs.Append(0, L{Hub: 1, Dist: 1})
+	if cs.LockCount() != 0 {
+		t.Fatal("profiling counted while disabled")
+	}
+	cs.EnableProfiling()
+	cs.Append(0, L{Hub: 2, Dist: 1})
+	cs.Len(0)
+	if cs.LockCount() != 2 {
+		t.Fatalf("lock count = %d, want 2", cs.LockCount())
+	}
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := NewIndex(40)
+	for v := 0; v < 40; v++ {
+		for h := 0; h <= v; h++ {
+			if rng.Float64() < 0.3 {
+				d := float64(rng.Intn(100)) / 4
+				if h == v {
+					d = 0
+				}
+				ix.Append(v, L{Hub: uint32(h), Dist: d})
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := ix.Diff(back); diff != "" {
+		t.Fatalf("round trip changed index: %s", diff)
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	// Bad magic.
+	if _, err := ReadIndex(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	ix := NewIndex(3)
+	ix.Append(1, L{Hub: 0, Dist: 2})
+	var buf bytes.Buffer
+	if err := WriteIndex(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 5, 9, len(full) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPermSerialization(t *testing.T) {
+	perm := []int{3, 1, 4, 0, 2}
+	var buf bytes.Buffer
+	if err := WritePerm(&buf, perm); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPerm(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range perm {
+		if perm[i] != back[i] {
+			t.Fatalf("perm mismatch at %d", i)
+		}
+	}
+	// Non-permutation payloads are rejected.
+	var bad bytes.Buffer
+	if err := WritePerm(&bad, []int{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerm(&bad); err == nil {
+		t.Fatal("duplicate perm entries accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPsi(t *testing.T) {
+	b := &Build{VerticesExplored: 100, LabelsGenerated: 20}
+	if b.Psi() != 5 {
+		t.Fatalf("Ψ = %v", b.Psi())
+	}
+	empty := &Build{VerticesExplored: 42}
+	if empty.Psi() != 42 {
+		t.Fatalf("label-free Ψ = %v, want explored count", empty.Psi())
+	}
+}
+
+func TestALS(t *testing.T) {
+	b := &Build{Labels: 300}
+	if b.ALS(100) != 3 {
+		t.Fatalf("ALS = %v", b.ALS(100))
+	}
+	if b.ALS(0) != 0 {
+		t.Fatal("ALS of empty graph must be 0")
+	}
+}
+
+func TestString(t *testing.T) {
+	b := &Build{
+		Algorithm: "GLL", Trees: 10, Labels: 50, LabelsCleaned: 5,
+		TotalTime: 1500 * time.Millisecond,
+	}
+	s := b.String()
+	for _, want := range []string{"GLL", "trees=10", "labels=50", "cleaned=5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	d := &Build{Algorithm: "PLaNT", Nodes: 4, BytesSent: 99}
+	if !strings.Contains(d.String(), "nodes=4") {
+		t.Fatalf("distributed String() = %q", d.String())
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{SecPerVertex: 1, SecPerQuery: 2, SecPerSync: 3, SecPerByte: 4}
+	got := cm.Modeled(10, 20, 30, 40)
+	want := 10.0 + 40 + 90 + 160
+	if got != want {
+		t.Fatalf("Modeled = %v, want %v", got, want)
+	}
+	def := DefaultCostModel()
+	if def.SecPerVertex <= 0 || def.SecPerSync <= 0 {
+		t.Fatal("default cost model has zero constants")
+	}
+	// Sanity: a synchronization costs more than exploring one vertex.
+	if def.SecPerSync < def.SecPerVertex {
+		t.Fatal("synchronization cheaper than a vertex pop")
+	}
+}

@@ -1,0 +1,142 @@
+package order
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func checkPermutation(t *testing.T, o *Order, n int) {
+	t.Helper()
+	if len(o.Perm) != n || len(o.Rank) != n {
+		t.Fatalf("order sizes %d/%d, want %d", len(o.Perm), len(o.Rank), n)
+	}
+	for pos, v := range o.Perm {
+		if o.Rank[v] != pos {
+			t.Fatalf("Rank[Perm[%d]] = %d", pos, o.Rank[v])
+		}
+	}
+}
+
+func TestFromPerm(t *testing.T) {
+	o, err := FromPerm([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPermutation(t, o, 3)
+	if o.Rank[2] != 0 {
+		t.Fatalf("vertex 2 should rank highest, got %d", o.Rank[2])
+	}
+	for _, bad := range [][]int{{0, 0, 1}, {0, 1, 5}, {-1, 0, 1}} {
+		if _, err := FromPerm(bad); err == nil {
+			t.Errorf("perm %v accepted", bad)
+		}
+	}
+}
+
+func TestIdentityAndRandom(t *testing.T) {
+	o := Identity(5)
+	checkPermutation(t, o, 5)
+	for i := 0; i < 5; i++ {
+		if o.Rank[i] != i {
+			t.Fatalf("identity broken at %d", i)
+		}
+	}
+	r1 := Random(64, 1)
+	r2 := Random(64, 1)
+	checkPermutation(t, r1, 64)
+	for i := range r1.Perm {
+		if r1.Perm[i] != r2.Perm[i] {
+			t.Fatal("same seed produced different random orders")
+		}
+	}
+}
+
+func TestByDegree(t *testing.T) {
+	g := graph.Star(10, 1) // vertex 0 has degree 9
+	o := ByDegree(g)
+	checkPermutation(t, o, 10)
+	if o.Perm[0] != 0 {
+		t.Fatalf("star centre not top ranked: %v", o.Perm[0])
+	}
+	// Leaves tie on degree; ties break by id.
+	for i := 1; i < 10; i++ {
+		if o.Perm[i] != i {
+			t.Fatalf("tie break by id violated at %d: %d", i, o.Perm[i])
+		}
+	}
+}
+
+func TestByDegreeDirected(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 2, 1) // vertex 2: in-degree 2, out 0 → total 2, highest
+	g := b.MustFinish()
+	o := ByDegree(g)
+	if o.Perm[0] != 2 {
+		t.Fatalf("directed degree should count in-arcs; top = %d", o.Perm[0])
+	}
+}
+
+func TestByApproxBetweenness(t *testing.T) {
+	// A barbell: two cliques joined by a bridge through vertex 4 and 5.
+	b := graph.NewBuilder(10, false)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	for u := 6; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 6, 1)
+	g := b.MustFinish()
+	o := ByApproxBetweenness(g, 10, 1)
+	checkPermutation(t, o, 10)
+	// The bridge vertices 4 and 5 carry all cross-clique shortest paths;
+	// together with the clique gateways (3 and 6) they must fill the top
+	// ranks, ahead of every clique-interior vertex.
+	top3 := map[int]bool{o.Perm[0]: true, o.Perm[1]: true, o.Perm[2]: true}
+	if !top3[4] || !top3[5] {
+		t.Fatalf("bridge vertices not top-ranked: %v", o.Perm[:4])
+	}
+	for _, interior := range []int{0, 1, 2, 7, 8, 9} {
+		if o.Rank[interior] < 4 {
+			t.Fatalf("clique-interior vertex %d ranked %d, above the bridge structure", interior, o.Rank[interior])
+		}
+	}
+}
+
+func TestByApproxBetweennessDeterministic(t *testing.T) {
+	g := graph.RoadGrid(8, 8, 3)
+	a := ByApproxBetweenness(g, 12, 7)
+	b := ByApproxBetweenness(g, 12, 7)
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			t.Fatal("same seed produced different betweenness orders")
+		}
+	}
+}
+
+func TestForGraphPicksByTopology(t *testing.T) {
+	road := graph.RoadGrid(12, 12, 1)
+	ba := graph.BarabasiAlbert(400, 3, 1)
+	ro := ForGraph(road, 1)
+	bo := ForGraph(ba, 1)
+	checkPermutation(t, ro, road.NumVertices())
+	checkPermutation(t, bo, ba.NumVertices())
+	// For the scale-free graph the pick must equal the pure degree order.
+	deg := ByDegree(ba)
+	for i := range deg.Perm {
+		if bo.Perm[i] != deg.Perm[i] {
+			t.Fatalf("scale-free graph did not get degree order (pos %d)", i)
+		}
+	}
+	if g0 := ForGraph(graph.Path(0, 1), 1); len(g0.Perm) != 0 {
+		t.Fatal("empty graph order not empty")
+	}
+}

@@ -1,0 +1,315 @@
+// Package plant implements PLaNT — "Prune Labels and (do) Not (prune)
+// Trees" (§5.2, Algorithm 3), the paper's key contribution.
+//
+// A PLaNTed shortest path tree is a full (unpruned) Dijkstra from the root h
+// that propagates, alongside distances, the highest-ranked *ancestor* seen
+// on (any) shortest path from h: a[v] = argmax-rank over the vertices of
+// the best shortest path from h to v, endpoints included. When v is popped,
+// the label (h, δ_v) is emitted iff neither v nor a[v] outranks h — i.e.
+// iff h is the maximum-rank vertex on every... precisely, on the
+// highest-ancestor shortest path, which after the tie-breaking rule of
+// Algorithm 3 line 12 equals the maximum over ALL shortest h–v paths. That
+// is exactly the membership condition of the Canonical Hub Labeling, so
+// PLaNT emits canonical labels using information intrinsic to its own tree:
+// no distance queries against previously generated labels, hence no
+// inter-node communication when trees are distributed across a cluster.
+//
+// Two optimizations from the paper are included:
+//
+//   - Early termination: a counter tracks how many queued vertices still
+//     have the root as their best ancestor; when it reaches zero no future
+//     pop can produce a label, and the traversal stops (§5.2).
+//   - Common-label pruning (§5.3): given the complete label sets of the η
+//     top-ranked hubs (the Common Label Table, replicated on every node), a
+//     distance query against those hubs alone can prune the PLaNTed tree
+//     without risking redundant or distance-inflated labels — see the
+//     soundness argument in DESIGN.md.
+//
+// The package operates in rank space (vertex 0 = highest rank); with
+// positive edge weights every shortest-path predecessor settles before its
+// successor pops, so ancestors are exact at pop time.
+package plant
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/metrics"
+	"repro/internal/vheap"
+)
+
+// Scratch holds the per-worker state of PLaNT Dijkstra, reusable across
+// trees (reset costs O(touched), not O(n)).
+type Scratch struct {
+	dist    []float64
+	anc     []int32 // a[v]: best (minimum-id) ancestor on current best path
+	settled []bool
+	dirty   []int32
+	heap    *vheap.Heap
+}
+
+// NewScratch allocates scratch for graphs with n vertices.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{
+		dist:    make([]float64, n),
+		anc:     make([]int32, n),
+		settled: make([]bool, n),
+		heap:    vheap.New(n),
+	}
+	for i := range s.dist {
+		s.dist[i] = graph.Infinity
+	}
+	return s
+}
+
+func (s *Scratch) reset() {
+	for _, v := range s.dirty {
+		s.dist[v] = graph.Infinity
+		s.settled[v] = false
+	}
+	s.dirty = s.dirty[:0]
+	s.heap.Clear()
+}
+
+// Sink receives the labels emitted by one PLaNTed tree, in ascending
+// distance order. v is the labeled vertex; the hub is the tree root.
+type Sink func(v int, dist float64)
+
+// TreeStats reports what one PLaNTed tree did.
+type TreeStats struct {
+	Explored int64 // vertices popped
+	Relaxed  int64 // edges relaxed
+	Labels   int64 // labels emitted
+	Pruned   int64 // vertices cut by common-label pruning
+}
+
+// Psi is the Ψ ratio of this tree: vertices explored per label generated
+// (Figure 3). A tree that generated no labels reports Ψ = Explored.
+func (t TreeStats) Psi() float64 {
+	if t.Labels == 0 {
+		return float64(t.Explored)
+	}
+	return float64(t.Explored) / float64(t.Labels)
+}
+
+// Tree runs Algorithm 3 (PLaNTDijkstra) from root h over g, emitting labels
+// into sink. If common is non-nil it is the Common Label Table — the
+// complete label sets of hubs ranked above commonBound (= η, or the number
+// of hubs whose trees have completed) — and is used to prune the traversal
+// per §5.3.
+//
+// Differences from the paper's pseudo-code, both deliberate (DESIGN.md §3):
+// edge relaxation happens even when the popped vertex produces no label
+// (Figure 1c shows this; otherwise ancestors would not propagate past
+// high-ranked vertices), and settled vertices are never re-relaxed.
+func Tree(g *graph.Graph, h int, s *Scratch, common *label.Index, commonBound uint32, sink Sink) TreeStats {
+	var st TreeStats
+	s.reset()
+	s.dist[h] = 0
+	s.anc[h] = int32(h)
+	s.dirty = append(s.dirty, int32(h))
+	s.heap.Push(h, 0)
+	cnt := 1 // queued vertices whose best ancestor is the root
+
+	var commonH label.Set
+	if common != nil {
+		commonH = common.Labels(h)
+	}
+
+	for !s.heap.Empty() {
+		if cnt == 0 {
+			break // early termination: no queued vertex can yield a label
+		}
+		v, dv := s.heap.Pop()
+		s.settled[v] = true
+		st.Explored++
+		av := s.anc[v]
+		if av == int32(h) {
+			cnt--
+		}
+		// nA = argmax rank over {v, a[v]} = min id.
+		nA := av
+		if int32(v) < nA {
+			nA = int32(v)
+		}
+		// Common-label pruning (§5.3): if a hub ranked above the root
+		// covers (h, v) at distance ≤ δv, neither v nor anything whose
+		// shortest paths run through v can take h as a hub — cut the
+		// subtree. Sound only because the table holds the *complete*
+		// canonical labels of those top hubs.
+		if common != nil && v != h {
+			bound := commonBound
+			if uint32(h) < bound {
+				bound = uint32(h)
+			}
+			if d, _, ok := label.QueryMergeBounded(common.Labels(v), commonH, bound); ok && d <= dv {
+				st.Pruned++
+				continue
+			}
+		}
+		if nA >= int32(h) { // R[nA] ≤ R[h]: the root is the path maximum
+			sink(v, dv)
+			st.Labels++
+		}
+		heads, wts := g.Neighbors(v)
+		for i, uu := range heads {
+			u := int(uu)
+			if s.settled[u] {
+				continue
+			}
+			nd := dv + wts[i]
+			st.Relaxed++
+			du := s.dist[u]
+			if nd < du {
+				if du == graph.Infinity {
+					s.dirty = append(s.dirty, int32(uu))
+				}
+				// a[u] = argmax rank over {nA, u} (Alg. 3 line 11).
+				na := nA
+				if int32(u) < na {
+					na = int32(u)
+				}
+				prev := du != graph.Infinity && s.anc[u] == int32(h)
+				now := na == int32(h)
+				if now && !prev {
+					cnt++
+				} else if !now && prev {
+					cnt--
+				}
+				s.anc[u] = na
+				s.dist[u] = nd
+				s.heap.Push(u, nd)
+			} else if nd == du {
+				// Equal-length path: keep the higher-ranked ancestor
+				// (Alg. 3 line 12) so the emitted labels reflect the
+				// maximum over ALL shortest paths.
+				pa := s.anc[u]
+				na := nA
+				if int32(u) < na {
+					na = int32(u)
+				}
+				if pa < na {
+					na = pa
+				}
+				if na != pa {
+					prev := pa == int32(h)
+					now := na == int32(h)
+					if now && !prev {
+						cnt++
+					} else if !now && prev {
+						cnt--
+					}
+					s.anc[u] = na
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Options configures a shared-memory PLaNT run.
+type Options struct {
+	// Workers is the number of goroutines. Zero means GOMAXPROCS.
+	Workers int
+	// RecordPerTree enables the per-tree series for Figure 3.
+	RecordPerTree bool
+	// CommonHubs (η) enables common-label pruning: the labels of the η
+	// top-ranked hubs are gathered first and used to prune later trees.
+	// Zero disables pruning (pure Algorithm 3).
+	CommonHubs int
+}
+
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Run executes shared-memory PLaNT: every root's tree is embarrassingly
+// parallel, so workers simply split the roots dynamically. The output is
+// the CHL — PLaNT needs no cleaning.
+func Run(g *graph.Graph, opts Options) (*label.Index, *metrics.Build) {
+	opts = opts.normalize()
+	n := g.NumVertices()
+	m := &metrics.Build{Algorithm: "PLaNT", Workers: opts.Workers}
+	if opts.RecordPerTree {
+		m.LabelsPerTree = make([]int64, n)
+		m.ExploredPerTree = make([]int64, n)
+	}
+	store := label.NewConcurrentStore(n)
+	start := time.Now()
+
+	var common *label.Index
+	eta := opts.CommonHubs
+	if eta > n {
+		eta = n
+	}
+	if eta > 0 {
+		// Phase 1: PLaNT the top-η trees unpruned, collect their labels
+		// into the common table.
+		common = label.NewIndex(n)
+		var mu sync.Mutex
+		runTrees(g, 0, eta, opts.Workers, nil, 0, m, opts, func(h int) Sink {
+			return func(v int, d float64) {
+				store.Append(v, label.L{Hub: uint32(h), Dist: d})
+				mu.Lock()
+				common.Append(v, label.L{Hub: uint32(h), Dist: d})
+				mu.Unlock()
+			}
+		})
+	}
+	runTrees(g, eta, n, opts.Workers, common, uint32(eta), m, opts, func(h int) Sink {
+		return func(v int, d float64) {
+			store.Append(v, label.L{Hub: uint32(h), Dist: d})
+		}
+	})
+
+	ix := store.Seal()
+	m.TotalTime = time.Since(start)
+	m.ConstructTime = m.TotalTime
+	m.Trees = int64(n)
+	m.Labels = ix.TotalLabels()
+	m.LabelsGenerated = m.Labels
+	return ix, m
+}
+
+// runTrees builds the PLaNTed trees for roots in [lo, hi) across workers.
+func runTrees(g *graph.Graph, lo, hi, workers int, common *label.Index, bound uint32, m *metrics.Build, opts Options, mkSink func(h int) Sink) {
+	n := g.NumVertices()
+	next := int64(lo) - 1
+	var explored, relaxed, labels int64
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := NewScratch(n)
+			var ex, rx, lb int64
+			for {
+				h := int(atomic.AddInt64(&next, 1))
+				if h >= hi {
+					break
+				}
+				st := Tree(g, h, s, common, bound, mkSink(h))
+				ex += st.Explored
+				rx += st.Relaxed
+				lb += st.Labels
+				if opts.RecordPerTree {
+					m.LabelsPerTree[h] = st.Labels
+					m.ExploredPerTree[h] = st.Explored
+				}
+			}
+			atomic.AddInt64(&explored, ex)
+			atomic.AddInt64(&relaxed, rx)
+			atomic.AddInt64(&labels, lb)
+		}()
+	}
+	wg.Wait()
+	atomic.AddInt64(&m.VerticesExplored, explored)
+	atomic.AddInt64(&m.EdgesRelaxed, relaxed)
+}

@@ -1,0 +1,180 @@
+package plant
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/pll"
+	"repro/internal/sssp"
+)
+
+// TestFigure1cGolden replays the PLaNT trace of Figure 1c step by step:
+// building SPT_v2 (root id 1) after SPT_v1, PLaNT pops v2, v1, v4, v3, v5;
+// the final ancestors are a(v1)=v1, a(v3)=v2, a(v4)=v1, a(v5)=v1 (the
+// equal-length path through v1 wins the tie at v5), and labels are emitted
+// exactly for v2 and v3 — identical to PLL's output in Figure 1b.
+func TestFigure1cGolden(t *testing.T) {
+	g := graph.Figure1()
+	s := NewScratch(5)
+	var got []label.L
+	st := Tree(g, 1, s, nil, 0, func(v int, d float64) {
+		got = append(got, label.L{Hub: uint32(v), Dist: d}) // Hub field reused as "vertex"
+	})
+	if len(got) != 2 || got[0] != (label.L{Hub: 1, Dist: 0}) || got[1] != (label.L{Hub: 2, Dist: 10}) {
+		t.Fatalf("labels = %v, want [(v2,0) (v3,10)]", got)
+	}
+	if st.Labels != 2 {
+		t.Fatalf("stats labels = %d", st.Labels)
+	}
+	// v2, v1, v4 and v3 are popped; before v5 can pop, every queued vertex
+	// (just v5, with ancestor v1) outranks the root, so early termination
+	// cuts the last pop that Figure 1c's unoptimized trace still shows.
+	if st.Explored != 4 {
+		t.Fatalf("explored = %d, want 4 (early termination after v3)", st.Explored)
+	}
+	// Final ancestor state of Figure 1c.
+	wantAnc := []int32{0, 1, 1, 0, 0} // a(v1)=v1, a(v2)=v2, a(v3)=v2, a(v4)=v1, a(v5)=v1
+	for v, w := range wantAnc {
+		if s.anc[v] != w {
+			t.Fatalf("a(v%d) = v%d, want v%d", v+1, s.anc[v]+1, w+1)
+		}
+	}
+	// The tie at v5: d = 12 via both {v2,v1,v4,v5} and {v2,v3,v5}; the
+	// ancestor must be v1 (the higher-ranked path), which blocks the label.
+	if s.dist[4] != 12 {
+		t.Fatalf("d(v5) = %v", s.dist[4])
+	}
+}
+
+func TestTreeEqualsMaxRankSemantics(t *testing.T) {
+	// PLaNT's label condition is exactly "root is the max-rank vertex on
+	// any shortest path" — cross-check against sssp.MaxRankOnPath.
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.ErdosRenyi(40, 90, 5, seed)
+		n := g.NumVertices()
+		s := NewScratch(n)
+		for h := 0; h < n; h += 3 {
+			labeled := map[int]float64{}
+			Tree(g, h, s, nil, 0, func(v int, d float64) { labeled[v] = d })
+			best, dist := sssp.MaxRankOnPath(g, h)
+			for v := 0; v < n; v++ {
+				_, got := labeled[v]
+				want := dist[v] != graph.Infinity && int(best[v]) == h
+				if got != want {
+					t.Fatalf("seed %d root %d vertex %d: labeled=%v, canonical=%v", seed, h, v, got, want)
+				}
+				if want && labeled[v] != dist[v] {
+					t.Fatalf("seed %d root %d vertex %d: label dist %v, true %v", seed, h, v, labeled[v], dist[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEarlyTermination(t *testing.T) {
+	// On a path ranked along its length, the tree rooted at the far end
+	// must stop quickly: once the frontier's ancestors outrank the root,
+	// no labels can follow.
+	g := graph.Path(100, 1)
+	s := NewScratch(100)
+	st := Tree(g, 99, s, nil, 0, func(int, float64) {})
+	if st.Labels != 1 {
+		t.Fatalf("tail tree labels = %d, want 1 (self)", st.Labels)
+	}
+	// Without early termination it would explore all 100 vertices.
+	if st.Explored > 3 {
+		t.Fatalf("explored %d vertices, early termination failed", st.Explored)
+	}
+	// The top-ranked root must explore (and label) everything.
+	st0 := Tree(g, 0, s, nil, 0, func(int, float64) {})
+	if st0.Labels != 100 || st0.Explored != 100 {
+		t.Fatalf("root tree: labels=%d explored=%d", st0.Labels, st0.Explored)
+	}
+}
+
+func TestPsiStats(t *testing.T) {
+	g := graph.RoadGrid(6, 6, 1)
+	s := NewScratch(g.NumVertices())
+	st := Tree(g, g.NumVertices()-1, s, nil, 0, func(int, float64) {})
+	if st.Psi() < 1 {
+		t.Fatalf("Ψ = %v < 1", st.Psi())
+	}
+	zero := TreeStats{Explored: 7}
+	if zero.Psi() != 7 {
+		t.Fatalf("Ψ of label-free tree = %v, want Explored", zero.Psi())
+	}
+}
+
+func TestRunMatchesSequentialPLL(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.BarabasiAlbert(70, 3, seed)
+		want, _ := pll.Sequential(g, pll.Options{})
+		for _, workers := range []int{1, 4} {
+			got, m := Run(g, Options{Workers: workers})
+			if diff := want.Diff(got); diff != "" {
+				t.Fatalf("seed %d workers %d: %s", seed, workers, diff)
+			}
+			if m.Trees != int64(g.NumVertices()) {
+				t.Fatalf("trees = %d", m.Trees)
+			}
+		}
+	}
+}
+
+func TestCommonHubPruningReducesExploration(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 3, 7)
+	plain, mPlain := Run(g, Options{Workers: 1})
+	pruned, mPruned := Run(g, Options{Workers: 1, CommonHubs: 16})
+	if diff := plain.Diff(pruned); diff != "" {
+		t.Fatalf("common-hub pruning changed the labeling: %s", diff)
+	}
+	if mPruned.VerticesExplored >= mPlain.VerticesExplored {
+		t.Fatalf("common-hub pruning did not reduce exploration: %d vs %d",
+			mPruned.VerticesExplored, mPlain.VerticesExplored)
+	}
+}
+
+func TestCommonHubsClamped(t *testing.T) {
+	g := graph.Path(5, 1)
+	ix, _ := Run(g, Options{CommonHubs: 100}) // η > n must clamp
+	want, _ := pll.Sequential(g, pll.Options{})
+	if diff := want.Diff(ix); diff != "" {
+		t.Fatal(diff)
+	}
+}
+
+func TestDirectedPlantMatchesDirectedPLL(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.RandomDirected(45, 140, 7, seed)
+		want, _ := pll.SequentialDirected(g, pll.Options{})
+		got, _ := RunDirected(g, Options{Workers: 2})
+		if diff := want.Forward.Diff(got.Forward); diff != "" {
+			t.Fatalf("seed %d forward: %s", seed, diff)
+		}
+		if diff := want.Backward.Diff(got.Backward); diff != "" {
+			t.Fatalf("seed %d backward: %s", seed, diff)
+		}
+	}
+}
+
+func TestScratchReuseAcrossTrees(t *testing.T) {
+	// Reusing one scratch across trees must give the same labels as fresh
+	// scratch per tree (dirty-list reset correctness).
+	g := graph.ErdosRenyi(30, 70, 4, 11)
+	shared := NewScratch(30)
+	for h := 0; h < 30; h++ {
+		var a, b []label.L
+		Tree(g, h, shared, nil, 0, func(v int, d float64) { a = append(a, label.L{Hub: uint32(v), Dist: d}) })
+		fresh := NewScratch(30)
+		Tree(g, h, fresh, nil, 0, func(v int, d float64) { b = append(b, label.L{Hub: uint32(v), Dist: d}) })
+		if len(a) != len(b) {
+			t.Fatalf("root %d: %d labels with shared scratch, %d with fresh", h, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("root %d label %d differs: %v vs %v", h, i, a[i], b[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package pll
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/lcc"
+	"repro/internal/sssp"
+)
+
+func TestDongHybridCoversAndCleansToCHL(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.ErdosRenyi(70, 170, 6, seed)
+		want, _ := Sequential(g, Options{})
+		for _, workers := range []int{1, 4} {
+			ix, m := DongHybrid(g, Options{Workers: workers}, 8)
+			// Cover property holds before cleaning.
+			for s := 0; s < g.NumVertices(); s += 9 {
+				dist := sssp.Dijkstra(g, s)
+				for v := 0; v < g.NumVertices(); v++ {
+					if ix.Query(s, v) != dist[v] {
+						t.Fatalf("seed %d workers %d: cover broken at (%d,%d)", seed, workers, s, v)
+					}
+				}
+			}
+			if ix.TotalLabels() < want.TotalLabels() {
+				t.Fatalf("fewer labels than CHL: %d < %d", ix.TotalLabels(), want.TotalLabels())
+			}
+			// §4.1: LCC's cleaner repairs Dong's output into the CHL.
+			cleaned := lcc.Clean(ix, workers, nil)
+			if diff := want.Diff(ix); diff != "" {
+				t.Fatalf("seed %d workers %d (cleaned %d): %s", seed, workers, cleaned, diff)
+			}
+			if m.Trees != int64(g.NumVertices()) {
+				t.Fatalf("trees = %d", m.Trees)
+			}
+		}
+	}
+}
+
+func TestDongHybridSequentialPrefixIsCanonical(t *testing.T) {
+	// With a single worker the whole run is sequential and must equal
+	// seqPLL exactly — phase-1 Bellman-Ford label filtering included.
+	g := graph.RoadGrid(8, 8, 3)
+	want, _ := Sequential(g, Options{})
+	ix, m := DongHybrid(g, Options{Workers: 1}, 16)
+	if diff := want.Diff(ix); diff != "" {
+		t.Fatal(diff)
+	}
+	if m.EdgesRelaxed == 0 {
+		t.Fatal("no Bellman-Ford work recorded")
+	}
+}
+
+func TestDongHybridBFTreeClamp(t *testing.T) {
+	g := graph.Path(5, 2)
+	want, _ := Sequential(g, Options{})
+	ix, _ := DongHybrid(g, Options{Workers: 2}, 100) // bfTrees > n clamps
+	if diff := want.Diff(ix); diff != "" {
+		t.Fatal(diff)
+	}
+}
+
+// TestBellmanFordRelaxationExplosion quantifies the §3 observation that
+// pruned Bellman-Ford does far more edge relaxations than pruned Dijkstra
+// on high-diameter graphs.
+func TestBellmanFordRelaxationExplosion(t *testing.T) {
+	g := graph.RoadGrid(16, 16, 1) // diameter ~30
+	_, dijM := Sequential(g, Options{})
+	_, bfM := DongHybrid(g, Options{Workers: 2}, 16)
+	// Compare relaxations attributable to the same top-16 trees: Dijkstra
+	// relaxes each explored vertex's edges once; BF re-relaxes per round.
+	if bfM.EdgesRelaxed <= dijM.EdgesRelaxed {
+		t.Fatalf("BF relaxations %d not above Dijkstra's %d on a road grid",
+			bfM.EdgesRelaxed, dijM.EdgesRelaxed)
+	}
+}

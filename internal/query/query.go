@@ -1,0 +1,340 @@
+// Package query implements the paper's three distributed PPSD query modes
+// (§6):
+//
+//   - QLSN — Querying with Labels on a Single Node: the full labeling is
+//     replicated on every node and each query is answered entirely by the
+//     node where it emerges. Lowest latency (no network), highest memory,
+//     and batch throughput limited to the emitting node's compute.
+//   - QFDL — Querying with Fully Distributed Labels: every vertex's label
+//     set is partitioned across all q nodes (by generating node, as the
+//     distributed builders leave them). A query is broadcast, every node
+//     computes the best distance over its partial labels, and a MIN
+//     reduction produces the answer. Minimum memory per node, but every
+//     query pays a broadcast + reduction.
+//   - QDOL — Querying with Distributed Overlapping Labels: the vertex set
+//     is split into ζ partitions with C(ζ,2) = q, one node per partition
+//     pair storing the complete label sets of both partitions. A query is
+//     routed point-to-point to the unique owning node, which answers it
+//     alone. Memory per node is Θ(1/√q) of the labeling; batches spread
+//     across nodes with only two small messages per query.
+//
+// The engines run the real merge-join computations (answers are exact and
+// verified against Dijkstra by the tests) and meter per-node work (label
+// entries scanned, queries handled) and traffic (bytes, messages). Latency
+// and throughput are then derived via an explicit CostModel, which keeps
+// the numbers machine-independent — on this one-box simulation, wall-clock
+// time would reflect the host scheduler rather than the algorithms
+// (DESIGN.md §4). Table 4's orderings (QLSN lowest latency; QDOL ≈ 1.8×
+// QFDL throughput; QFDL smallest memory, QDOL ≈ √q/2-fold more, QLSN most)
+// come out of exactly these meters.
+package query
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/label"
+)
+
+// Mode names a query distribution strategy.
+type Mode string
+
+// The three modes of §6.
+const (
+	QLSN Mode = "QLSN"
+	QFDL Mode = "QFDL"
+	QDOL Mode = "QDOL"
+)
+
+// Pair is one PPSD query (vertex ids in rank space).
+type Pair struct {
+	U, V int32
+}
+
+// CostModel holds the network constants used to convert metered work into
+// latency and throughput figures. The defaults mirror commodity-cluster
+// MPI: ~20µs broadcast latency, ~7µs point-to-point latency, ~2GB/s
+// effective bandwidth, and 2ns per label entry scanned during a
+// merge-join. Bandwidth is charged with pipelined-collective semantics: a
+// broadcast of B bytes costs ~2B on the wire regardless of q
+// (scatter/allgather implementation), not B×(q−1).
+type CostModel struct {
+	BroadcastLatency time.Duration
+	P2PLatency       time.Duration
+	SecPerByte       float64
+	SecPerEntry      float64
+}
+
+// DefaultCostModel returns the constants described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BroadcastLatency: 20 * time.Microsecond,
+		P2PLatency:       7 * time.Microsecond,
+		SecPerByte:       0.5e-9,
+		SecPerEntry:      2e-9,
+	}
+}
+
+// Engine answers queries under one mode over a fixed deployment of labels
+// to q simulated nodes.
+type Engine struct {
+	mode Mode
+	q    int
+	cm   CostModel
+
+	// Per-node label storage; layout depends on the mode.
+	full     *label.Index   // QLSN (shared instance; accounted q times) and QDOL source
+	perNode  []*label.Index // QFDL partitions
+	zeta     int            // QDOL partition count
+	pairNode [][]int        // QDOL: pairNode[a][b] = node owning partition pair (a≤b)
+
+	memPerNode []int64
+}
+
+// NewEngine deploys labels for the chosen mode. full is the complete
+// labeling; perNode are the per-node partitions produced by the distributed
+// builders (required for QFDL, ignored otherwise — QDOL redistributes from
+// full by vertex partition).
+func NewEngine(mode Mode, full *label.Index, perNode []*label.Index, q int, cm CostModel) (*Engine, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("query: need q ≥ 1, got %d", q)
+	}
+	e := &Engine{mode: mode, q: q, cm: cm, full: full, memPerNode: make([]int64, q)}
+	fullBytes := full.TotalLabels() * label.Bytes
+	switch mode {
+	case QLSN:
+		for i := range e.memPerNode {
+			e.memPerNode[i] = fullBytes
+		}
+	case QFDL:
+		if len(perNode) != q {
+			return nil, fmt.Errorf("query: QFDL needs %d per-node partitions, got %d", q, len(perNode))
+		}
+		e.perNode = perNode
+		for i, p := range perNode {
+			e.memPerNode[i] = p.TotalLabels() * label.Bytes
+		}
+	case QDOL:
+		// ζ = (1 + √(1+8q)) / 2 rounded down to keep C(ζ,2) ≤ q.
+		zeta := int((1 + math.Sqrt(1+8*float64(q))) / 2)
+		for zeta > 2 && zeta*(zeta-1)/2 > q {
+			zeta--
+		}
+		if zeta < 2 {
+			zeta = 2
+			if q < 1 {
+				return nil, fmt.Errorf("query: QDOL needs at least 1 node")
+			}
+		}
+		e.zeta = zeta
+		e.pairNode = make([][]int, zeta)
+		node := 0
+		for a := 0; a < zeta; a++ {
+			e.pairNode[a] = make([]int, zeta)
+			for b := range e.pairNode[a] {
+				e.pairNode[a][b] = -1
+			}
+		}
+		for a := 0; a < zeta; a++ {
+			for b := a + 1; b < zeta; b++ {
+				e.pairNode[a][b] = node % q
+				e.pairNode[b][a] = node % q
+				node++
+			}
+		}
+		// Same-partition queries go to the first node holding that
+		// partition.
+		for a := 0; a < zeta; a++ {
+			b := (a + 1) % zeta
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			e.pairNode[a][a] = e.pairNode[lo][hi]
+		}
+		// Memory: each node stores the complete label sets of its two
+		// partitions.
+		partBytes := make([]int64, zeta)
+		for v := 0; v < full.NumVertices(); v++ {
+			partBytes[v%zeta] += int64(len(full.Labels(v))) * label.Bytes
+		}
+		for a := 0; a < zeta; a++ {
+			for b := a + 1; b < zeta; b++ {
+				n := e.pairNode[a][b]
+				e.memPerNode[n] += partBytes[a] + partBytes[b]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown mode %q", mode)
+	}
+	return e, nil
+}
+
+// Mode returns the engine's mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// MemoryPerNode returns the label bytes stored on each node.
+func (e *Engine) MemoryPerNode() []int64 { return e.memPerNode }
+
+// TotalMemory returns the summed label storage across nodes (the "Memory
+// Usage" column of Table 4).
+func (e *Engine) TotalMemory() int64 {
+	var t int64
+	for _, b := range e.memPerNode {
+		t += b
+	}
+	return t
+}
+
+// Query answers one PPSD query and reports its modeled latency.
+func (e *Engine) Query(u, v int) (float64, time.Duration) {
+	switch e.mode {
+	case QLSN:
+		d, entries := queryCounted(e.full.Labels(u), e.full.Labels(v))
+		return d, time.Duration(float64(entries) * e.cm.SecPerEntry * float64(time.Second))
+	case QFDL:
+		// Broadcast query; all nodes scan their partitions concurrently;
+		// MIN-reduce. Latency = broadcast + slowest node + reduction
+		// (folded into BroadcastLatency, as in MPI_Bcast+MPI_Reduce).
+		best := label.Infinity
+		maxEntries := int64(0)
+		for _, p := range e.perNode {
+			d, entries := queryCounted(p.Labels(u), p.Labels(v))
+			if d < best {
+				best = d
+			}
+			if entries > maxEntries {
+				maxEntries = entries
+			}
+		}
+		lat := 2*e.cm.BroadcastLatency + time.Duration(float64(maxEntries)*e.cm.SecPerEntry*float64(time.Second))
+		return best, lat
+	case QDOL:
+		// Route to the owning node (P2P out and back), answered there
+		// against complete label sets.
+		d, entries := queryCounted(e.full.Labels(u), e.full.Labels(v))
+		lat := 2*e.cm.P2PLatency + time.Duration(float64(entries)*e.cm.SecPerEntry*float64(time.Second))
+		return d, lat
+	}
+	panic("query: unreachable")
+}
+
+// BatchResult reports a batch run.
+type BatchResult struct {
+	Dists []float64
+	// ModeledSeconds is the modeled wall time of the batch on the
+	// simulated cluster (max per-node compute + traffic).
+	ModeledSeconds float64
+	// Throughput is queries per modeled second.
+	Throughput float64
+	// MeanLatency is the modeled per-query latency.
+	MeanLatency time.Duration
+	// BytesSent / MessagesSent meter the batch's traffic.
+	BytesSent    int64
+	MessagesSent int64
+	// EntriesScanned sums label entries touched across nodes.
+	EntriesScanned int64
+}
+
+const queryWireBytes = 16 // two vertex ids + routing
+const replyWireBytes = 8  // one distance
+
+// Batch answers a batch of queries. Queries emerge at node 0 (the paper's
+// application host): under QLSN node 0 must answer everything itself, QFDL
+// fans every query out to all nodes, QDOL scatters queries across owner
+// nodes — reproducing Table 4's throughput ordering.
+func (e *Engine) Batch(pairs []Pair) *BatchResult {
+	res := &BatchResult{Dists: make([]float64, len(pairs))}
+	perNodeEntries := make([]int64, e.q)
+	var latSum time.Duration
+
+	switch e.mode {
+	case QLSN:
+		for i, p := range pairs {
+			d, entries := queryCounted(e.full.Labels(int(p.U)), e.full.Labels(int(p.V)))
+			res.Dists[i] = d
+			perNodeEntries[0] += entries
+			latSum += time.Duration(float64(entries) * e.cm.SecPerEntry * float64(time.Second))
+		}
+	case QFDL:
+		// Every node scans its partition for every query.
+		for i, p := range pairs {
+			best := label.Infinity
+			var maxE int64
+			for r, part := range e.perNode {
+				d, entries := queryCounted(part.Labels(int(p.U)), part.Labels(int(p.V)))
+				if d < best {
+					best = d
+				}
+				perNodeEntries[r] += entries
+				if entries > maxE {
+					maxE = entries
+				}
+			}
+			res.Dists[i] = best
+			latSum += 2*e.cm.BroadcastLatency + time.Duration(float64(maxE)*e.cm.SecPerEntry*float64(time.Second))
+		}
+		// Pipelined broadcast + reduce: ~2× the payload each way.
+		res.BytesSent = int64(len(pairs)) * 2 * (queryWireBytes + replyWireBytes)
+		res.MessagesSent = int64(len(pairs)) * 2 * int64(e.q-1)
+	case QDOL:
+		// Queries are sorted to their owner nodes (the paper sorts the
+		// batch by destination; the reported throughput includes that
+		// cost, which is linear and folded into SecPerEntry here).
+		for i, p := range pairs {
+			owner := e.ownerOf(int(p.U), int(p.V))
+			d, entries := queryCounted(e.full.Labels(int(p.U)), e.full.Labels(int(p.V)))
+			res.Dists[i] = d
+			perNodeEntries[owner] += entries
+			latSum += 2*e.cm.P2PLatency + time.Duration(float64(entries)*e.cm.SecPerEntry*float64(time.Second))
+			if owner != 0 {
+				res.BytesSent += queryWireBytes + replyWireBytes
+				res.MessagesSent += 2
+			}
+		}
+	}
+
+	var maxEntries int64
+	for _, c := range perNodeEntries {
+		res.EntriesScanned += c
+		if c > maxEntries {
+			maxEntries = c
+		}
+	}
+	res.ModeledSeconds = float64(maxEntries)*e.cm.SecPerEntry + float64(res.BytesSent)*e.cm.SecPerByte
+	if len(pairs) > 0 {
+		if res.ModeledSeconds > 0 {
+			res.Throughput = float64(len(pairs)) / res.ModeledSeconds
+		}
+		res.MeanLatency = latSum / time.Duration(len(pairs))
+	}
+	return res
+}
+
+// ownerOf returns the QDOL node owning the partition pair of (u,v).
+func (e *Engine) ownerOf(u, v int) int {
+	return e.pairNode[u%e.zeta][v%e.zeta]
+}
+
+// queryCounted merge-joins two sorted label sets, returning the best
+// distance and the number of entries touched.
+func queryCounted(a, b label.Set) (float64, int64) {
+	best := label.Infinity
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Hub < b[j].Hub:
+			i++
+		case a[i].Hub > b[j].Hub:
+			j++
+		default:
+			if d := a[i].Dist + b[j].Dist; d < best {
+				best = d
+			}
+			i++
+			j++
+		}
+	}
+	return best, int64(i + j)
+}

@@ -1,0 +1,192 @@
+// Package sssp provides reference single-source shortest path routines:
+// plain Dijkstra (the gold standard every labeling is verified against),
+// a Dijkstra variant that also computes the maximum-rank vertex on any
+// shortest path (the quantity Canonical Hub Labeling is defined by), and a
+// bidirectional point-to-point Dijkstra used as the traversal baseline the
+// paper's introduction compares hub labeling to.
+package sssp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/vheap"
+)
+
+// Dijkstra computes shortest-path distances from source over g (following
+// outgoing arcs) and returns the distance array; unreachable vertices get
+// graph.Infinity.
+func Dijkstra(g *graph.Graph, source int) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[source] = 0
+	h := vheap.New(n)
+	h.Push(source, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		heads, wts := g.Neighbors(u)
+		for i, v := range heads {
+			if nd := du + wts[i]; nd < dist[v] {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraReverse computes shortest-path distances *to* target following
+// arcs backwards (equal to Dijkstra on the transpose). For undirected graphs
+// it is identical to Dijkstra.
+func DijkstraReverse(g *graph.Graph, target int) []float64 {
+	return Dijkstra(g.Transpose(), target)
+}
+
+// MaxRankOnPath computes, for every vertex v reachable from source, the
+// highest-ranked vertex that appears on ANY shortest path from source to v
+// (endpoints included). Rank is position: vertex 0 is the highest ranked, so
+// "highest-ranked" means minimum id. This is exactly the quantity that
+// defines the Canonical Hub Labeling (Definition 3 / Lemma 1): hub h belongs
+// to L_v iff h == MaxRankOnPath(h→v). The verifier uses it as independent
+// ground truth for PLaNT's ancestor propagation.
+//
+// The returned slice holds, per vertex, the id of that maximum-rank vertex,
+// or -1 if unreachable. dist receives the distances (may be nil).
+func MaxRankOnPath(g *graph.Graph, source int) (best []int32, dist []float64) {
+	n := g.NumVertices()
+	dist = make([]float64, n)
+	best = make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+		best[i] = -1
+	}
+	dist[source] = 0
+	best[source] = int32(source)
+	h := vheap.New(n)
+	h.Push(source, 0)
+	order := make([]int, 0, n) // settle order
+	for !h.Empty() {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue
+		}
+		order = append(order, u)
+		heads, wts := g.Neighbors(u)
+		for i, v := range heads {
+			if nd := du + wts[i]; nd < dist[v] {
+				dist[v] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+	// With positive weights, predecessors on shortest paths settle strictly
+	// before their successors, so one pass in settle order computes the
+	// max-rank (minimum id) over all shortest paths exactly.
+	for _, u := range order {
+		if u == source {
+			continue
+		}
+		tails, wts := g.InNeighbors(u)
+		bu := int32(u)
+		for i, t := range tails {
+			if dist[t] != graph.Infinity && dist[t]+wts[i] == dist[u] {
+				if bt := best[t]; bt >= 0 && bt < bu {
+					bu = bt
+				}
+			}
+		}
+		best[u] = bu
+	}
+	return best, dist
+}
+
+// PointToPoint runs bidirectional Dijkstra between s and t and returns the
+// shortest-path distance, or graph.Infinity if t is unreachable from s. It
+// is the "traversal algorithm" baseline of the paper's introduction: correct
+// but orders of magnitude slower per query than a hub labeling lookup.
+func PointToPoint(g *graph.Graph, s, t int) float64 {
+	if s == t {
+		return 0
+	}
+	n := g.NumVertices()
+	gt := g.Transpose()
+
+	distF := make(map[int]float64, 64)
+	distB := make(map[int]float64, 64)
+	doneF := make(map[int]bool, 64)
+	doneB := make(map[int]bool, 64)
+	hf := vheap.New(n)
+	hb := vheap.New(n)
+	hf.Push(s, 0)
+	hb.Push(t, 0)
+	distF[s] = 0
+	distB[t] = 0
+	bestMu := graph.Infinity
+
+	relax := func(dir *graph.Graph, h *vheap.Heap, dist map[int]float64, done, otherDone map[int]bool, otherDist map[int]float64) {
+		u, du := h.Pop()
+		if done[u] {
+			return
+		}
+		done[u] = true
+		if otherDist != nil {
+			if db, ok := otherDist[u]; ok {
+				if du+db < bestMu {
+					bestMu = du + db
+				}
+			}
+		}
+		heads, wts := dir.Neighbors(u)
+		for i, v := range heads {
+			nd := du + wts[i]
+			if old, ok := dist[int(v)]; !ok || nd < old {
+				dist[int(v)] = nd
+				h.Push(int(v), nd)
+			}
+		}
+	}
+
+	for !hf.Empty() && !hb.Empty() {
+		_, kf := hf.Peek()
+		_, kb := hb.Peek()
+		if kf+kb >= bestMu {
+			break
+		}
+		if kf <= kb {
+			relax(g, hf, distF, doneF, doneB, distB)
+		} else {
+			relax(gt, hb, distB, doneB, doneF, distF)
+		}
+	}
+	return bestMu
+}
+
+// AllPairs computes the full distance matrix by running Dijkstra from every
+// vertex. It is O(n·(m + n log n)) and intended only for verification on
+// small graphs.
+func AllPairs(g *graph.Graph) [][]float64 {
+	n := g.NumVertices()
+	d := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		d[s] = Dijkstra(g, s)
+	}
+	return d
+}
+
+// Eccentricity returns the maximum finite distance from source, i.e. the
+// depth of the shortest path tree. Used by diameter estimates in the
+// experiment harness.
+func Eccentricity(g *graph.Graph, source int) float64 {
+	dist := Dijkstra(g, source)
+	ecc := 0.0
+	for _, d := range dist {
+		if d != graph.Infinity && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,228 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bellmanFord is an independent O(nm) reference used to cross-check
+// Dijkstra.
+func bellmanFord(g *graph.Graph, src int) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for u := 0; u < n; u++ {
+			if dist[u] == graph.Infinity {
+				continue
+			}
+			heads, wts := g.Neighbors(u)
+			for i, v := range heads {
+				if nd := dist[u] + wts[i]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestDijkstraAgainstBellmanFord(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Figure1(),
+		graph.Path(10, 3),
+		graph.RoadGrid(6, 6, 1),
+		graph.BarabasiAlbert(60, 3, 2),
+		graph.ErdosRenyi(40, 60, 9, 3), // may be disconnected
+		graph.RandomDirected(40, 120, 9, 4),
+	}
+	for gi, g := range graphs {
+		for src := 0; src < g.NumVertices(); src += 7 {
+			want := bellmanFord(g, src)
+			got := Dijkstra(g, src)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("graph %d src %d vertex %d: dijkstra %v, bellman-ford %v", gi, src, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestDijkstraFigure1(t *testing.T) {
+	g := graph.Figure1()
+	// From v2 (id 1), the worked example of Figure 1b: d1=3, d3=10, d4=8,
+	// d5=12.
+	d := Dijkstra(g, 1)
+	want := []float64{3, 0, 10, 8, 12}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("d(v2,v%d) = %v, want %v", v+1, d[v], w)
+		}
+	}
+}
+
+func TestDijkstraReverseDirected(t *testing.T) {
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	g := b.MustFinish()
+	fwd := Dijkstra(g, 0)
+	if fwd[2] != 5 {
+		t.Fatalf("forward d(0→2) = %v", fwd[2])
+	}
+	rev := DijkstraReverse(g, 2)
+	if rev[0] != 5 || rev[1] != 3 {
+		t.Fatalf("reverse distances %v", rev)
+	}
+	if fwdBack := Dijkstra(g, 2); fwdBack[0] != graph.Infinity {
+		t.Fatal("directed graph should not reach 0 from 2 forwards")
+	}
+}
+
+func TestMaxRankOnPathFigure1(t *testing.T) {
+	g := graph.Figure1()
+	// From v2 (id 1): ancestors per Figure 1c's final state: a(v1)=v1,
+	// a(v3)=v2, a(v4)=v1, a(v5)=v1 (the tie at v5 resolves to the path
+	// through v1).
+	best, dist := MaxRankOnPath(g, 1)
+	want := []int32{0, 1, 1, 0, 0}
+	for v, w := range want {
+		if best[v] != w {
+			t.Fatalf("maxrank(v2→v%d) = v%d, want v%d", v+1, best[v]+1, w+1)
+		}
+	}
+	if dist[4] != 12 {
+		t.Fatalf("dist to v5 = %v", dist[4])
+	}
+}
+
+// TestMaxRankOnPathBrute cross-checks against exhaustive path enumeration
+// on small random graphs.
+func TestMaxRankOnPathBrute(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.ErdosRenyi(12, 22, 4, seed)
+		n := g.NumVertices()
+		for src := 0; src < n; src++ {
+			best, dist := MaxRankOnPath(g, src)
+			wantDist := Dijkstra(g, src)
+			for v := 0; v < n; v++ {
+				if dist[v] != wantDist[v] {
+					t.Fatalf("seed %d: dist(%d,%d) = %v want %v", seed, src, v, dist[v], wantDist[v])
+				}
+				if dist[v] == graph.Infinity {
+					if best[v] != -1 {
+						t.Fatalf("unreachable vertex %d has ancestor %d", v, best[v])
+					}
+					continue
+				}
+				want := bruteMaxRank(g, src, v, wantDist)
+				if int(best[v]) != want {
+					t.Fatalf("seed %d: maxrank(%d→%d) = %d, want %d", seed, src, v, best[v], want)
+				}
+			}
+		}
+	}
+}
+
+// bruteMaxRank finds the minimum id over vertices on ANY shortest src–v
+// path: u is on one iff d(src,u) + d(u,v) == d(src,v).
+func bruteMaxRank(g *graph.Graph, src, v int, distSrc []float64) int {
+	best := g.NumVertices()
+	for u := 0; u < g.NumVertices(); u++ {
+		if distSrc[u] == graph.Infinity {
+			continue
+		}
+		dUV := Dijkstra(g, u)[v]
+		if dUV == graph.Infinity {
+			continue
+		}
+		if distSrc[u]+dUV == distSrc[v] && u < best {
+			best = u
+		}
+	}
+	return best
+}
+
+func TestPointToPoint(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.ErdosRenyi(40, 90, 7, seed)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 30; i++ {
+			s, v := rng.Intn(40), rng.Intn(40)
+			want := Dijkstra(g, s)[v]
+			if got := PointToPoint(g, s, v); got != want {
+				t.Fatalf("seed %d: ptp(%d,%d) = %v, want %v", seed, s, v, got, want)
+			}
+		}
+	}
+	// Directed asymmetry.
+	b := graph.NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.MustFinish()
+	if d := PointToPoint(g, 0, 2); d != 2 {
+		t.Fatalf("directed ptp = %v", d)
+	}
+	if d := PointToPoint(g, 2, 0); d != graph.Infinity {
+		t.Fatalf("reverse directed ptp = %v, want Infinity", d)
+	}
+	if d := PointToPoint(g, 1, 1); d != 0 {
+		t.Fatalf("self ptp = %v", d)
+	}
+}
+
+func TestAllPairsAndEccentricity(t *testing.T) {
+	g := graph.Path(5, 2)
+	ap := AllPairs(g)
+	if ap[0][4] != 8 || ap[4][0] != 8 || ap[2][2] != 0 {
+		t.Fatalf("all pairs wrong: %v", ap)
+	}
+	if ecc := Eccentricity(g, 0); ecc != 8 {
+		t.Fatalf("eccentricity = %v", ecc)
+	}
+	if ecc := Eccentricity(g, 2); ecc != 4 {
+		t.Fatalf("centre eccentricity = %v", ecc)
+	}
+}
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Figure1(),
+		graph.Path(20, 3),
+		graph.RoadGrid(8, 8, 1),
+		graph.BarabasiAlbert(80, 3, 2),
+		graph.ErdosRenyi(50, 80, 9, 3), // disconnected
+	}
+	for gi, g := range graphs {
+		for src := 0; src < g.NumVertices(); src += 5 {
+			want := Dijkstra(g, src)
+			for _, delta := range []float64{0, 1, 2.5, 100} {
+				got := DeltaStepping(g, src, delta)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("graph %d src %d δ=%v vertex %d: %v want %v",
+							gi, src, delta, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaSteppingEmptyGraph(t *testing.T) {
+	g := graph.Path(0, 1)
+	if d := DeltaStepping(g, 0, 1); len(d) != 0 {
+		t.Fatalf("empty graph returned %v", d)
+	}
+}

@@ -1,0 +1,168 @@
+package verify_test
+
+// The X1 experiment of DESIGN.md: seqPLL, LCC, GLL, shared-memory PLaNT and
+// the distributed algorithms (DGLL, PLaNT, Hybrid at several cluster sizes)
+// must all emit the *identical* Canonical Hub Labeling, which in turn must
+// pass the first-principles CHL contract. This is the strongest single
+// correctness statement in the paper ("the same CHL ... irrespective of q",
+// §7.3) and the backbone of this test suite.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/gll"
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/lcc"
+	"repro/internal/plant"
+	"repro/internal/pll"
+	"repro/internal/verify"
+)
+
+// testGraphs returns the topology zoo used across the agreement tests.
+func testGraphs(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	return map[string]*graph.Graph{
+		"figure1":    graph.Figure1(),
+		"path":       graph.Path(17, 2),
+		"cycle":      graph.Cycle(12, 3),
+		"star":       graph.Star(9, 1),
+		"complete":   graph.Complete(8, 5),
+		"grid":       graph.RoadGrid(7, 9, 1),
+		"ba":         graph.BarabasiAlbert(80, 3, 2),
+		"er-sparse":  graph.ErdosRenyi(60, 90, 8, 3),
+		"er-dense":   graph.ErdosRenyi(40, 300, 4, 4),
+		"er-discon":  graph.ErdosRenyi(50, 30, 6, 5), // almost surely disconnected
+		"smallworld": graph.SmallWorld(48, 2, 0.2, 6),
+		"single":     graph.Path(1, 1),
+		"two":        graph.Path(2, 7),
+	}
+}
+
+func chlReference(tb testing.TB, g *graph.Graph) *label.Index {
+	tb.Helper()
+	ix, _ := pll.Sequential(g, pll.Options{})
+	return ix
+}
+
+func TestSequentialPLLIsCHL(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			ix := chlReference(t, g)
+			if err := verify.IsCHL(g, ix); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestCanonicalAgreementSharedMemory(t *testing.T) {
+	algos := map[string]func(*graph.Graph) *label.Index{
+		"LCC": func(g *graph.Graph) *label.Index {
+			ix, _ := lcc.Run(g, lcc.Options{Workers: 4})
+			return ix
+		},
+		"GLL": func(g *graph.Graph) *label.Index {
+			ix, _ := gll.Run(g, gll.Options{Workers: 4, Alpha: 2})
+			return ix
+		},
+		"PLaNT": func(g *graph.Graph) *label.Index {
+			ix, _ := plant.Run(g, plant.Options{Workers: 4})
+			return ix
+		},
+		"PLaNT-common": func(g *graph.Graph) *label.Index {
+			ix, _ := plant.Run(g, plant.Options{Workers: 4, CommonHubs: 8})
+			return ix
+		},
+	}
+	for gname, g := range testGraphs(t) {
+		want := chlReference(t, g)
+		for aname, run := range algos {
+			t.Run(fmt.Sprintf("%s/%s", aname, gname), func(t *testing.T) {
+				got := run(g)
+				if diff := want.Diff(got); diff != "" {
+					t.Fatalf("%s output differs from CHL: %s", aname, diff)
+				}
+			})
+		}
+	}
+}
+
+func TestCanonicalAgreementDistributed(t *testing.T) {
+	type distAlgo func(*graph.Graph, dist.Options) (*dist.Result, error)
+	algos := map[string]distAlgo{
+		"DGLL":        dist.DGLL,
+		"DGLL-common": func(g *graph.Graph, o dist.Options) (*dist.Result, error) { o.Eta = 8; return dist.DGLL(g, o) },
+		"PLaNT":       dist.PLaNT,
+		"PLaNT-noCommon": func(g *graph.Graph, o dist.Options) (*dist.Result, error) {
+			o.Eta = -1
+			return dist.PLaNT(g, o)
+		},
+		"Hybrid": dist.Hybrid,
+		"Hybrid-psiSmall": func(g *graph.Graph, o dist.Options) (*dist.Result, error) {
+			o.PsiThreshold = 1.01
+			return dist.Hybrid(g, o)
+		},
+	}
+	for gname, g := range testGraphs(t) {
+		want := chlReference(t, g)
+		for aname, run := range algos {
+			for _, q := range []int{1, 2, 5} {
+				t.Run(fmt.Sprintf("%s/%s/q=%d", aname, gname, q), func(t *testing.T) {
+					res, err := run(g, dist.Options{Nodes: q, WorkersPerNode: 2})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := want.Diff(res.Index); diff != "" {
+						t.Fatalf("%s (q=%d) differs from CHL: %s", aname, q, diff)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSparaPLLCoversButMayBeRedundant: the baseline must satisfy the cover
+// property (exact distances) even though its labeling need not be minimal.
+func TestSparaPLLCoversButMayBeRedundant(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			ix, _ := pll.SParaPLL(g, pll.Options{Workers: 4})
+			if err := ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.Cover(g, ix, 0); err != nil {
+				t.Fatal(err)
+			}
+			want := chlReference(t, g)
+			if ix.TotalLabels() < want.TotalLabels() {
+				t.Fatalf("SparaPLL produced fewer labels (%d) than the CHL (%d) — impossible for a covering labeling that was not cleaned",
+					ix.TotalLabels(), want.TotalLabels())
+			}
+		})
+	}
+}
+
+// TestDParaPLLCovers: the distributed baseline keeps the cover property at
+// any q, with label counts ≥ CHL.
+func TestDParaPLLCovers(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, q := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/q=%d", name, q), func(t *testing.T) {
+				res, err := dist.DParaPLL(g, dist.Options{Nodes: q, WorkersPerNode: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := verify.Cover(g, res.Index, 0); err != nil {
+					t.Fatal(err)
+				}
+				want := chlReference(t, g)
+				if res.Index.TotalLabels() < want.TotalLabels() {
+					t.Fatalf("DparaPLL label count %d below CHL %d", res.Index.TotalLabels(), want.TotalLabels())
+				}
+			})
+		}
+	}
+}

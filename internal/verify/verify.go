@@ -1,0 +1,176 @@
+// Package verify checks hub labelings against first principles. It is the
+// test suite's ground truth: every algorithm in this repository is asserted
+// to emit (a) a labeling satisfying the cover property — PPSD queries equal
+// Dijkstra distances; (b) for the CHL algorithms, a labeling that respects
+// the rank order R and is minimal (Definitions 1–3 of the paper), which
+// together pin down the Canonical Hub Labeling uniquely.
+//
+// Everything operates in rank space (vertex 0 = highest rank).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/label"
+	"repro/internal/sssp"
+)
+
+// Cover checks the cover property exhaustively for sources in [0,
+// maxSources) (all sources if maxSources ≤ 0): for every vertex pair (s,v),
+// the labeling's query must equal the true shortest-path distance
+// (Infinity for disconnected pairs — hub labelings answer those correctly
+// too, by finding no common hub... note a common hub cannot exist across
+// components). Returns a descriptive error on the first mismatch.
+func Cover(g *graph.Graph, ix *label.Index, maxSources int) error {
+	n := g.NumVertices()
+	if maxSources <= 0 || maxSources > n {
+		maxSources = n
+	}
+	for s := 0; s < maxSources; s++ {
+		dist := sssp.Dijkstra(g, s)
+		for v := 0; v < n; v++ {
+			got := ix.Query(s, v)
+			if got != dist[v] {
+				return fmt.Errorf("verify: query(%d,%d) = %v, want %v", s, v, got, dist[v])
+			}
+		}
+	}
+	return nil
+}
+
+// CoverSampled checks the cover property from `samples` random sources
+// (each against all targets).
+func CoverSampled(g *graph.Graph, ix *label.Index, samples int, seed int64) error {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		s := rng.Intn(n)
+		dist := sssp.Dijkstra(g, s)
+		for v := 0; v < n; v++ {
+			got := ix.Query(s, v)
+			if got != dist[v] {
+				return fmt.Errorf("verify: query(%d,%d) = %v, want %v", s, v, got, dist[v])
+			}
+		}
+	}
+	return nil
+}
+
+// RespectsR checks Definition 3 from `sources` roots (all if ≤ 0): for
+// every vertex v connected to s, the highest-ranked vertex w on any
+// shortest s–v path must be a hub of both s and v, at its true distances.
+func RespectsR(g *graph.Graph, ix *label.Index, sources int) error {
+	n := g.NumVertices()
+	if sources <= 0 || sources > n {
+		sources = n
+	}
+	for s := 0; s < sources; s++ {
+		best, dist := sssp.MaxRankOnPath(g, s)
+		ls := ix.Labels(s)
+		for v := 0; v < n; v++ {
+			if dist[v] == graph.Infinity {
+				continue
+			}
+			w := uint32(best[v])
+			dw, ok := ls.Find(w)
+			if !ok || dw != dist[best[v]] {
+				return fmt.Errorf("verify: pair (%d,%d): max-rank hub %d missing from L_%d (or wrong distance %v, want %v)",
+					s, v, w, s, dw, dist[best[v]])
+			}
+			dv, ok := ix.Labels(v).Find(w)
+			if !ok || dv != dist[v]-dist[best[v]] {
+				return fmt.Errorf("verify: pair (%d,%d): max-rank hub %d missing from L_%d (or wrong distance %v, want %v)",
+					s, v, w, v, dv, dist[v]-dist[best[v]])
+			}
+		}
+	}
+	return nil
+}
+
+// Minimal checks Definition 2 via Lemma 2: no label may have a witness —
+// a common hub ranked strictly above it covering the pair at no greater
+// distance. For a labeling that respects R this is exactly canonical
+// minimality.
+func Minimal(ix *label.Index) error {
+	n := ix.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, l := range ix.Labels(v) {
+			if int(l.Hub) == v {
+				continue
+			}
+			if hub, bad := witnessAbove(ix.Labels(v), ix.Labels(int(l.Hub)), l.Hub, l.Dist); bad {
+				return fmt.Errorf("verify: redundant label (hub %d, d=%v) at vertex %d: witnessed by higher-ranked hub %d",
+					l.Hub, l.Dist, v, hub)
+			}
+		}
+	}
+	return nil
+}
+
+// CanonicalDistances checks that every label stores the exact shortest-path
+// distance to its hub (labelings respecting R must; redundant labels in
+// paraPLL output may legitimately be inflated, so this is only asserted for
+// CHL outputs). Cost: one Dijkstra per distinct hub in use.
+func CanonicalDistances(g *graph.Graph, ix *label.Index, maxHubs int) error {
+	n := g.NumVertices()
+	if maxHubs <= 0 || maxHubs > n {
+		maxHubs = n
+	}
+	for h := 0; h < maxHubs; h++ {
+		dist := sssp.Dijkstra(g, h)
+		for v := 0; v < n; v++ {
+			if d, ok := ix.Labels(v).Find(uint32(h)); ok && d != dist[v] {
+				return fmt.Errorf("verify: label (hub %d) at vertex %d stores %v, true distance %v", h, v, d, dist[v])
+			}
+		}
+	}
+	return nil
+}
+
+// IsCHL asserts the full Canonical Hub Labeling contract on small graphs:
+// structural validity, exact cover, respects-R, minimality and exact label
+// distances. The CHL for a given (G, R) is unique, so any two labelings
+// passing IsCHL are identical — which the tests also assert directly via
+// Index.Equal.
+func IsCHL(g *graph.Graph, ix *label.Index) error {
+	if err := ix.Validate(); err != nil {
+		return err
+	}
+	if err := Cover(g, ix, 0); err != nil {
+		return err
+	}
+	if err := RespectsR(g, ix, 0); err != nil {
+		return err
+	}
+	if err := Minimal(ix); err != nil {
+		return err
+	}
+	return CanonicalDistances(g, ix, 0)
+}
+
+// witnessAbove reports the first satisfying common hub if it is ranked
+// strictly above h.
+func witnessAbove(lv, lh label.Set, h uint32, delta float64) (uint32, bool) {
+	i, j := 0, 0
+	for i < len(lv) && j < len(lh) {
+		a, b := lv[i], lh[j]
+		switch {
+		case a.Hub < b.Hub:
+			i++
+		case a.Hub > b.Hub:
+			j++
+		default:
+			if a.Dist+b.Dist <= delta {
+				return a.Hub, a.Hub < h
+			}
+			i++
+			j++
+		}
+	}
+	return 0, false
+}

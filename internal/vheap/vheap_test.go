@@ -1,0 +1,223 @@
+package vheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New(10)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatalf("new heap not empty: len=%d", h.Len())
+	}
+	if h.Contains(3) {
+		t.Fatal("empty heap claims to contain an item")
+	}
+}
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(5)
+	keys := []float64{3.5, 1.25, 9, 0.5, 7}
+	for i, k := range keys {
+		h.Push(i, k)
+	}
+	want := []int{3, 1, 0, 4, 2}
+	for _, wi := range want {
+		item, key := h.Pop()
+		if item != wi {
+			t.Fatalf("pop got %d (key %v), want %d", item, key, wi)
+		}
+	}
+	if !h.Empty() {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	if !h.Push(2, 5) {
+		t.Fatal("decrease-key reported no change")
+	}
+	if item, key := h.Peek(); item != 2 || key != 5 {
+		t.Fatalf("peek = (%d,%v), want (2,5)", item, key)
+	}
+	// Increasing the key must be a no-op (Dijkstra semantics).
+	if h.Push(2, 50) {
+		t.Fatal("increase-key unexpectedly changed the heap")
+	}
+	if item, _ := h.Peek(); item != 2 {
+		t.Fatalf("peek = %d after no-op push, want 2", item)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New(6)
+	for i := 0; i < 6; i++ {
+		h.Push(i, float64(10-i))
+	}
+	h.Remove(5) // current minimum
+	h.Remove(0) // current maximum
+	h.Remove(0) // double remove is a no-op
+	var got []int
+	for !h.Empty() {
+		item, _ := h.Pop()
+		got = append(got, item)
+	}
+	want := []int{4, 3, 2, 1}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClearReuse(t *testing.T) {
+	h := New(8)
+	for i := 0; i < 8; i++ {
+		h.Push(i, float64(i))
+	}
+	h.Clear()
+	if !h.Empty() {
+		t.Fatal("heap not empty after Clear")
+	}
+	for i := 0; i < 8; i++ {
+		if h.Contains(i) {
+			t.Fatalf("item %d still present after Clear", i)
+		}
+	}
+	h.Push(3, 1)
+	h.Push(4, 0.5)
+	if item, _ := h.Pop(); item != 4 {
+		t.Fatalf("heap broken after Clear: popped %d, want 4", item)
+	}
+}
+
+func TestResize(t *testing.T) {
+	h := New(2)
+	h.Push(1, 5)
+	h.Resize(10)
+	h.Push(9, 1)
+	if item, _ := h.Pop(); item != 9 {
+		t.Fatalf("popped %d after resize, want 9", item)
+	}
+	if item, _ := h.Pop(); item != 1 {
+		t.Fatalf("popped %d, want 1", item)
+	}
+}
+
+// TestHeapSortProperty: pushing arbitrary keys and draining must yield the
+// keys in non-decreasing order — the heap invariant, via testing/quick.
+func TestHeapSortProperty(t *testing.T) {
+	prop := func(keys []float64) bool {
+		const cap = 257
+		if len(keys) > cap {
+			keys = keys[:cap]
+		}
+		for i, k := range keys {
+			if k != k { // NaN keys are rejected by the algorithms upstream
+				keys[i] = 0
+			}
+		}
+		h := New(cap)
+		for i, k := range keys {
+			h.Push(i, k)
+		}
+		prev := -1.0
+		first := true
+		for !h.Empty() {
+			_, k := h.Pop()
+			if !first && k < prev {
+				return false
+			}
+			prev, first = k, false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomOperationsAgainstModel drives the heap with a random op
+// sequence and checks every observation against a naive model.
+func TestRandomOperationsAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 64
+	h := New(n)
+	model := map[int]float64{}
+
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(model) == 0: // push / decrease
+			item := rng.Intn(n)
+			key := float64(rng.Intn(1000)) / 7
+			old, ok := model[item]
+			changed := h.Push(item, key)
+			wantChanged := !ok || key < old
+			if changed != wantChanged {
+				t.Fatalf("step %d: Push(%d,%v) changed=%v, want %v", step, item, key, changed, wantChanged)
+			}
+			if wantChanged {
+				model[item] = key
+			}
+		case op == 1: // pop
+			item, key := h.Pop()
+			for mi, mk := range model {
+				if mk < key || (mk == key && false) {
+					t.Fatalf("step %d: popped key %v but model holds (%d,%v)", step, key, mi, mk)
+				}
+			}
+			if model[item] != key {
+				t.Fatalf("step %d: popped (%d,%v), model says %v", step, item, key, model[item])
+			}
+			delete(model, item)
+		case op == 2: // remove
+			item := rng.Intn(n)
+			h.Remove(item)
+			delete(model, item)
+		case op == 3: // contains / key
+			item := rng.Intn(n)
+			_, ok := model[item]
+			if h.Contains(item) != ok {
+				t.Fatalf("step %d: Contains(%d)=%v, model %v", step, item, h.Contains(item), ok)
+			}
+			if ok && h.Key(item) != model[item] {
+				t.Fatalf("step %d: Key(%d)=%v, model %v", step, item, h.Key(item), model[item])
+			}
+		}
+		if h.Len() != len(model) {
+			t.Fatalf("step %d: len %d, model %d", step, h.Len(), len(model))
+		}
+	}
+}
+
+func TestDuplicateKeysStable(t *testing.T) {
+	h := New(100)
+	for i := 0; i < 100; i++ {
+		h.Push(i, 7)
+	}
+	seen := make(map[int]bool)
+	keys := make([]float64, 0, 100)
+	for !h.Empty() {
+		item, k := h.Pop()
+		if seen[item] {
+			t.Fatalf("item %d popped twice", item)
+		}
+		seen[item] = true
+		keys = append(keys, k)
+	}
+	if len(seen) != 100 {
+		t.Fatalf("popped %d items, want 100", len(seen))
+	}
+	if !sort.Float64sAreSorted(keys) {
+		t.Fatal("equal keys popped out of order")
+	}
+}

@@ -1,0 +1,116 @@
+package chl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/label"
+)
+
+// Index file format:
+//
+//	magic   "CHIX"
+//	flags   1 byte (bit 0: directed)
+//	perm    (label.WritePerm)
+//	index   (label.WriteIndex) — forward index for directed graphs
+//	index   backward index, directed only
+var indexMagic = [4]byte{'C', 'H', 'I', 'X'}
+
+// Save serializes the index (labels + ranking) to w. Build metrics and
+// per-node partitions are not persisted.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	var flags byte
+	if ix.directed != nil {
+		flags |= 1
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return err
+	}
+	if err := label.WritePerm(bw, ix.perm); err != nil {
+		return err
+	}
+	if ix.directed != nil {
+		if err := label.WriteIndex(bw, ix.directed.Forward); err != nil {
+			return err
+		}
+		if err := label.WriteIndex(bw, ix.directed.Backward); err != nil {
+			return err
+		}
+	} else {
+		if err := label.WriteIndex(bw, ix.ranked); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to a file.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ix.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load deserializes an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("chl: reading magic: %w", err)
+	}
+	if hdr != indexMagic {
+		return nil, fmt.Errorf("chl: bad index magic %q", hdr[:])
+	}
+	flags, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("chl: reading flags: %w", err)
+	}
+	perm, err := label.ReadPerm(br)
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]int, len(perm))
+	for pos, v := range perm {
+		rank[v] = pos
+	}
+	ix := &Index{n: len(perm), perm: perm, rank: rank}
+	if flags&1 != 0 {
+		fwd, err := label.ReadIndex(br)
+		if err != nil {
+			return nil, err
+		}
+		bwd, err := label.ReadIndex(br)
+		if err != nil {
+			return nil, err
+		}
+		ix.directed = &label.DirectedIndex{Forward: fwd, Backward: bwd}
+	} else {
+		ix.ranked, err = label.ReadIndex(br)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// LoadFile reads an index from a file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,34 @@
+package chl
+
+import "repro/internal/order"
+
+// Order is a total order on vertices — the "network hierarchy" R the
+// Canonical Hub Labeling is defined against. Perm lists vertex ids from
+// highest rank to lowest; Rank is the inverse.
+type Order = order.Order
+
+// RankByDegree ranks vertices by decreasing degree — the paper's ordering
+// for scale-free networks.
+func RankByDegree(g *Graph) *Order { return order.ByDegree(g) }
+
+// RankByBetweenness ranks vertices by approximate betweenness centrality
+// from `samples` sampled shortest path trees — the paper's ordering for
+// road networks.
+func RankByBetweenness(g *Graph, samples int, seed int64) *Order {
+	return order.ByApproxBetweenness(g, samples, seed)
+}
+
+// RankAuto picks the paper's default ordering for the graph's topology:
+// sampled betweenness for road-like graphs, degree otherwise.
+func RankAuto(g *Graph, seed int64) *Order { return order.ForGraph(g, seed) }
+
+// RankIdentity ranks vertex 0 highest, then 1, and so on.
+func RankIdentity(n int) *Order { return order.Identity(n) }
+
+// RankRandom returns a uniformly random hierarchy (the CHL is defined for
+// any R; useful for adversarial testing).
+func RankRandom(n int, seed int64) *Order { return order.Random(n, seed) }
+
+// RankFromPerm builds an Order from an explicit permutation listing vertex
+// ids from highest rank to lowest.
+func RankFromPerm(perm []int) (*Order, error) { return order.FromPerm(perm) }

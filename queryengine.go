@@ -1,0 +1,108 @@
+package chl
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/label"
+	"repro/internal/query"
+)
+
+// QueryMode selects a distributed query strategy (§6 of the paper).
+type QueryMode = query.Mode
+
+// The three query modes.
+const (
+	// ModeQLSN replicates all labels on every node; each query is
+	// answered locally by the node it emerges on. Lowest latency, highest
+	// memory.
+	ModeQLSN = query.QLSN
+	// ModeQFDL partitions every vertex's labels across all nodes; each
+	// query is broadcast and MIN-reduced. Lowest memory, broadcast-bound
+	// latency.
+	ModeQFDL = query.QFDL
+	// ModeQDOL splits vertices into ζ partitions with C(ζ,2)=q and routes
+	// each query point-to-point to the node owning its partition pair.
+	// Best batch throughput at √q-scaled memory.
+	ModeQDOL = query.QDOL
+)
+
+// QueryEngine answers PPSD queries on a simulated q-node cluster under one
+// of the three modes, translating between original vertex ids and the
+// index's rank space.
+type QueryEngine struct {
+	ix  *Index
+	eng *query.Engine
+}
+
+// NewQueryEngine deploys the index's labels across q simulated nodes.
+// ModeQFDL requires an index built by a distributed algorithm (it reuses
+// the generator-node partitions); QLSN and QDOL work with any undirected
+// index. Directed indexes are not yet supported by the distributed query
+// engines.
+func NewQueryEngine(ix *Index, mode QueryMode, q int) (*QueryEngine, error) {
+	if ix.directed != nil {
+		return nil, fmt.Errorf("chl: query engines support undirected indexes only")
+	}
+	var perNode []*label.Index
+	if mode == ModeQFDL {
+		if ix.perNode == nil {
+			return nil, fmt.Errorf("chl: QFDL needs a distributed build (Options.Nodes=%d, got a shared-memory index)", q)
+		}
+		if len(ix.perNode) != q {
+			return nil, fmt.Errorf("chl: QFDL cluster size %d does not match the build's %d nodes", q, len(ix.perNode))
+		}
+		perNode = ix.perNode
+	}
+	eng, err := query.NewEngine(mode, ix.ranked, perNode, q, query.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	return &QueryEngine{ix: ix, eng: eng}, nil
+}
+
+// Query answers one PPSD query (original ids) and reports its modeled
+// latency on the simulated cluster.
+func (qe *QueryEngine) Query(u, v int) (float64, time.Duration) {
+	return qe.eng.Query(qe.ix.rank[u], qe.ix.rank[v])
+}
+
+// QueryPair is one batch query in original-id space.
+type QueryPair struct {
+	U, V int
+}
+
+// BatchResult reports a batch run; see the internal/query package for the
+// cost model behind the modeled figures.
+type BatchResult struct {
+	Dists          []float64
+	Throughput     float64 // queries per modeled second
+	MeanLatency    time.Duration
+	ModeledSeconds float64
+	BytesSent      int64
+	MessagesSent   int64
+}
+
+// Batch answers a batch of queries emerging at node 0.
+func (qe *QueryEngine) Batch(pairs []QueryPair) *BatchResult {
+	rp := make([]query.Pair, len(pairs))
+	for i, p := range pairs {
+		rp[i] = query.Pair{U: int32(qe.ix.rank[p.U]), V: int32(qe.ix.rank[p.V])}
+	}
+	r := qe.eng.Batch(rp)
+	return &BatchResult{
+		Dists:          r.Dists,
+		Throughput:     r.Throughput,
+		MeanLatency:    r.MeanLatency,
+		ModeledSeconds: r.ModeledSeconds,
+		BytesSent:      r.BytesSent,
+		MessagesSent:   r.MessagesSent,
+	}
+}
+
+// MemoryPerNode returns the label bytes each simulated node stores under
+// this deployment (the memory column of Table 4).
+func (qe *QueryEngine) MemoryPerNode() []int64 { return qe.eng.MemoryPerNode() }
+
+// TotalMemory returns the cluster-wide label storage in bytes.
+func (qe *QueryEngine) TotalMemory() int64 { return qe.eng.TotalMemory() }
