@@ -1,24 +1,37 @@
 // Command chlquery loads a hub-labeling index built by cmd/chl and answers
-// point-to-point shortest distance queries, either interactively ("u v" per
-// line on stdin) or as a random-batch benchmark in any of the paper's three
-// distributed query modes.
+// point-to-point shortest distance queries — interactively ("u v" per line
+// on stdin), as a random-batch benchmark in any of the paper's three
+// distributed query modes, or as an HTTP serving process over the flat
+// packed label store.
 //
 // Usage:
 //
 //	chlquery -index road.chl 17 3942
-//	chlquery -index road.chl            # interactive: one "u v" per line
+//	chlquery -index road.chl                 # interactive: one "u v" per line
 //	chlquery -index road.chl -bench 100000 -mode qdol -nodes 16
+//	chlquery -index road.chl -save road.flat # freeze once ...
+//	chlquery -load road.flat -serve :8080    # ... serve many times
+//
+// The serving API:
+//
+//	GET  /dist?u=17&v=3942      → {"u":17,"v":3942,"reachable":true,"dist":42,"hub":106}
+//	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
+//	GET  /stats                 → index size and memory figures
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	chl "repro"
 )
@@ -26,24 +39,38 @@ import (
 func main() {
 	var (
 		indexPath = flag.String("index", "", "index file written by cmd/chl")
+		loadPath  = flag.String("load", "", "flat index file written by -save")
+		savePath  = flag.String("save", "", "freeze the index and write it to this flat file")
+		serveAddr = flag.String("serve", "", "serve queries over HTTP on this address (e.g. :8080)")
 		bench     = flag.Int("bench", 0, "run a random batch of this many queries")
-		mode      = flag.String("mode", "qlsn", "query mode for -bench: qlsn|qfdl|qdol")
+		mode      = flag.String("mode", "qlsn", "query mode for -bench: qlsn|qfdl|qdol|local")
 		nodes     = flag.Int("nodes", 16, "simulated cluster size for -bench")
 		seed      = flag.Int64("seed", 1, "seed for -bench query generation")
 	)
 	flag.Parse()
-	if *indexPath == "" {
-		fatal(fmt.Errorf("pass -index FILE"))
-	}
-	ix, err := chl.LoadFile(*indexPath)
+
+	fx, ix, err := loadIndex(*indexPath, *loadPath)
 	if err != nil {
 		fatal(err)
 	}
-	st := ix.Stats()
-	fmt.Printf("index: n=%d labels=%d ALS=%.2f directed=%v\n", st.Vertices, st.TotalLabels, st.ALS, ix.Directed())
+	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB\n",
+		fx.NumVertices(), fx.TotalLabels(), float64(fx.TotalMemory())/(1<<20))
 
+	if *savePath != "" {
+		if err := fx.SaveFile(*savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved flat index to %s\n", *savePath)
+		if *serveAddr == "" && *bench == 0 && flag.NArg() == 0 {
+			return
+		}
+	}
+	if *serveAddr != "" {
+		serve(*serveAddr, fx)
+		return
+	}
 	if *bench > 0 {
-		runBench(ix, *bench, *mode, *nodes, *seed)
+		runBench(fx, ix, *bench, *mode, *nodes, *seed)
 		return
 	}
 	if flag.NArg() == 2 {
@@ -52,7 +79,7 @@ func main() {
 		if err1 != nil || err2 != nil {
 			fatal(fmt.Errorf("bad vertex ids %q %q", flag.Arg(0), flag.Arg(1)))
 		}
-		answer(ix, u, v)
+		answer(fx, u, v)
 		return
 	}
 	// Interactive mode.
@@ -65,16 +92,44 @@ func main() {
 		}
 		u, err1 := strconv.Atoi(f[0])
 		v, err2 := strconv.Atoi(f[1])
-		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= ix.NumVertices() || v >= ix.NumVertices() {
-			fmt.Printf("vertex ids must be in [0,%d)\n", ix.NumVertices())
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= fx.NumVertices() || v >= fx.NumVertices() {
+			fmt.Printf("vertex ids must be in [0,%d)\n", fx.NumVertices())
 			continue
 		}
-		answer(ix, u, v)
+		answer(fx, u, v)
 	}
 }
 
-func answer(ix *chl.Index, u, v int) {
-	d, hub, ok := ix.QueryHub(u, v)
+// loadIndex resolves the two input flavours. The slice-based index is only
+// materialized when it came from -index (the distributed -bench modes need
+// it); a flat load stays flat.
+func loadIndex(indexPath, loadPath string) (*chl.FlatIndex, *chl.Index, error) {
+	switch {
+	case indexPath != "" && loadPath != "":
+		return nil, nil, fmt.Errorf("pass either -index or -load, not both")
+	case indexPath != "":
+		ix, err := chl.LoadFile(indexPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		fx, err := ix.Freeze()
+		if err != nil {
+			return nil, nil, err
+		}
+		return fx, ix, nil
+	case loadPath != "":
+		fx, err := chl.LoadFlatFile(loadPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fx, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("pass -index FILE or -load FILE")
+	}
+}
+
+func answer(fx *chl.FlatIndex, u, v int) {
+	d, hub, ok := fx.QueryHub(u, v)
 	if !ok || math.IsInf(d, 1) || d == math.MaxFloat64 {
 		fmt.Printf("d(%d,%d) = unreachable\n", u, v)
 		return
@@ -82,7 +137,102 @@ func answer(ix *chl.Index, u, v int) {
 	fmt.Printf("d(%d,%d) = %g (via hub %d)\n", u, v, d, hub)
 }
 
-func runBench(ix *chl.Index, count int, modeName string, nodes int, seed int64) {
+// serve exposes the flat index over HTTP via the parallel batch engine.
+func serve(addr string, fx *chl.FlatIndex) {
+	eng := chl.NewBatchEngineFlat(fx)
+	n := fx.NumVertices()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist", func(w http.ResponseWriter, r *http.Request) {
+		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= n || v >= n {
+			http.Error(w, fmt.Sprintf("u and v must be integers in [0,%d)", n), http.StatusBadRequest)
+			return
+		}
+		d, hub, ok := fx.QueryHub(u, v)
+		resp := map[string]any{"u": u, "v": v, "reachable": ok}
+		if ok {
+			resp["dist"] = d
+			resp["hub"] = hub
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a JSON array of [u,v] pairs", http.StatusMethodNotAllowed)
+			return
+		}
+		var raw [][2]int
+		if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+			http.Error(w, "body must be a JSON array of [u,v] pairs: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		pairs := make([]chl.QueryPair, len(raw))
+		for i, p := range raw {
+			if p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
+				http.Error(w, fmt.Sprintf("pair %d out of range [0,%d)", i, n), http.StatusBadRequest)
+				return
+			}
+			pairs[i] = chl.QueryPair{U: p[0], V: p[1]}
+		}
+		dists := eng.Batch(pairs)
+		for i, d := range dists {
+			if d == chl.Infinity {
+				dists[i] = -1 // JSON has no +Inf
+			}
+		}
+		writeJSON(w, map[string]any{"dists": dists})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"vertices":     n,
+			"labels":       fx.TotalLabels(),
+			"memory_bytes": fx.TotalMemory(),
+		})
+	})
+
+	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats)\n", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("chlquery: writing response: %v", err)
+	}
+}
+
+func runBench(fx *chl.FlatIndex, ix *chl.Index, count int, modeName string, nodes int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := fx.NumVertices()
+	pairs := make([]chl.QueryPair, count)
+	for i := range pairs {
+		pairs[i] = chl.QueryPair{U: rng.Intn(n), V: rng.Intn(n)}
+	}
+
+	if strings.EqualFold(modeName, "local") {
+		// The real serving path: parallel batch over the flat store,
+		// measured in wall-clock time on this machine.
+		eng := chl.NewBatchEngineFlat(fx)
+		start := time.Now()
+		dists := eng.Batch(pairs)
+		elapsed := time.Since(start).Seconds()
+		var reach int
+		for _, d := range dists {
+			if d != chl.Infinity {
+				reach++
+			}
+		}
+		fmt.Printf("local batch: %d queries in %.3fs = %.2f Mq/s (wall clock), %d reachable\n",
+			count, elapsed, float64(count)/elapsed/1e6, reach)
+		fmt.Printf("  memory: %.2f MiB flat\n", float64(fx.TotalMemory())/(1<<20))
+		return
+	}
+
+	if ix == nil {
+		fatal(fmt.Errorf("mode %q needs the slice-based index: pass -index (not -load), or use -mode local", modeName))
+	}
 	var mode chl.QueryMode
 	switch strings.ToLower(modeName) {
 	case "qlsn":
@@ -97,12 +247,6 @@ func runBench(ix *chl.Index, count int, modeName string, nodes int, seed int64) 
 	qe, err := chl.NewQueryEngine(ix, mode, nodes)
 	if err != nil {
 		fatal(err)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	n := ix.NumVertices()
-	pairs := make([]chl.QueryPair, count)
-	for i := range pairs {
-		pairs[i] = chl.QueryPair{U: rng.Intn(n), V: rng.Intn(n)}
 	}
 	r := qe.Batch(pairs)
 	fmt.Printf("%s on %d nodes: %d queries\n", mode, nodes, count)

@@ -24,7 +24,7 @@
 //     pass deletes them. Output: the CHL.
 //   - AlgoGLL — Global Local Labeling (§4.2): interleaved cleaning against
 //     a small local table, lock-free global reads. Output: the CHL.
-//   - AlgoPLaNT — "Plant Labels and (do) Not (prune) Trees" (§5.2):
+//   - AlgoPLaNT — "Prune Labels and (do) Not (prune) Trees" (§5.2):
 //     embarrassingly parallel canonical labeling via ancestor-tracking
 //     unpruned Dijkstras. Output: the CHL, with no dependence on other
 //     trees' labels.
@@ -40,6 +40,23 @@
 //	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL})
 //	if err != nil { ... }
 //	d := ix.Query(17, 3942)                         // exact shortest distance
+//
+// # Serving
+//
+// Build once, freeze, serve many times. Freeze packs the labeling into a
+// FlatIndex — CSR offsets plus one contiguous (hub, dist) entry array —
+// which queries ~2× faster than the slice-based Index, persists to a
+// versioned binary format (FlatIndex.Save / LoadFlat), and fans batches
+// out over all cores through NewBatchEngine:
+//
+//	fx, _ := ix.Freeze()
+//	fx.SaveFile("road.flat")                        // once
+//	fx, _ = chl.LoadFlatFile("road.flat")           // every serving process
+//	eng := chl.NewBatchEngineFlat(fx)
+//	dists := eng.Batch(pairs)                       // parallel, zero-alloc hot path
+//
+// cmd/chlquery wraps this flow (-save / -load) and exposes it over HTTP
+// (-serve): GET /dist?u=&v= and POST /batch.
 //
 // # Distributed execution
 //

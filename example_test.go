@@ -1,6 +1,7 @@
 package chl_test
 
 import (
+	"bytes"
 	"fmt"
 
 	chl "repro"
@@ -45,6 +46,46 @@ func ExampleBuildWithPaths() {
 	// Output:
 	// reachable: true hops: 6 length: 20
 	// starts at 0 ends at 15
+}
+
+// Freezing packs the labeling into the flat store; queries answer
+// identically, from contiguous memory.
+func ExampleIndex_Freeze() {
+	g := chl.GenerateRoadGrid(8, 8, 1)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	fx, err := ix.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same answer:", fx.Query(0, 63) == ix.Query(0, 63))
+	fmt.Println("labels:", fx.TotalLabels() == ix.Stats().TotalLabels)
+	// Output:
+	// same answer: true
+	// labels: true
+}
+
+// The serve-many flow: freeze once, save, reload in a serving process, and
+// answer batches in parallel.
+func ExampleNewBatchEngineFlat() {
+	g := chl.GenerateScaleFree(300, 3, 1)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	fx, _ := ix.Freeze()
+
+	var wire bytes.Buffer
+	if err := fx.Save(&wire); err != nil { // once, at build time
+		panic(err)
+	}
+	loaded, err := chl.LoadFlat(&wire) // every serving process
+	if err != nil {
+		panic(err)
+	}
+	eng := chl.NewBatchEngineFlat(loaded)
+	dists := eng.Batch([]chl.QueryPair{{U: 0, V: 299}, {U: 5, V: 250}})
+	fmt.Println("batch size:", len(dists))
+	fmt.Println("matches build:", dists[0] == ix.Query(0, 299) && dists[1] == ix.Query(5, 250))
+	// Output:
+	// batch size: 2
+	// matches build: true
 }
 
 // Query engines deploy a built index across simulated nodes under the

@@ -87,6 +87,168 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
+// Flat index format (versioned, little endian):
+//
+//	magic   [4]byte  "CHLF"
+//	version uint8    currently flatVersion (1)
+//	n       uint32   vertex count
+//	total   uint64   label count
+//	offsets (n+1) × uint32
+//	entries total × uint64 — hub<<32 | float32bits(dist)
+//
+// The arrays are written verbatim in index order and match the in-memory
+// layout byte for byte, so a reader can reconstruct — or, on a
+// little-endian machine, memory-map — the packed store without touching
+// individual labels.
+
+var flatMagic = [4]byte{'C', 'H', 'L', 'F'}
+
+// flatVersion is the current flat serialization version; readers reject
+// anything newer.
+const flatVersion = 1
+
+// WriteTo serializes the flat index to w in the CHLF format, implementing
+// io.WriterTo.
+func (f *FlatIndex) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	emit := func(p []byte) error {
+		k, err := bw.Write(p)
+		written += int64(k)
+		return err
+	}
+	var hdr [17]byte
+	copy(hdr[:4], flatMagic[:])
+	hdr[4] = flatVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(f.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[9:17], uint64(len(f.entries)))
+	if err := emit(hdr[:]); err != nil {
+		return written, err
+	}
+	var buf [4096]byte
+	for xs := f.offsets; len(xs) > 0; {
+		chunk := len(buf) / 4
+		if chunk > len(xs) {
+			chunk = len(xs)
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
+		}
+		if err := emit(buf[:chunk*4]); err != nil {
+			return written, err
+		}
+		xs = xs[chunk:]
+	}
+	for es := f.entries; len(es) > 0; {
+		chunk := len(buf) / 8
+		if chunk > len(es) {
+			chunk = len(es)
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], es[i])
+		}
+		if err := emit(buf[:chunk*8]); err != nil {
+			return written, err
+		}
+		es = es[chunk:]
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadFlat deserializes a flat index written by WriteTo, validating the
+// magic, version and structural invariants (monotone offsets, per-vertex
+// hub sortedness).
+func ReadFlat(r io.Reader) (*FlatIndex, error) {
+	br := bufio.NewReader(r)
+	var hdr [17]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("label: reading flat header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != flatMagic {
+		return nil, fmt.Errorf("label: bad flat magic %q", hdr[:4])
+	}
+	if v := hdr[4]; v != flatVersion {
+		return nil, fmt.Errorf("label: unsupported flat version %d (want %d)", v, flatVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	total := binary.LittleEndian.Uint64(hdr[9:17])
+	if total > 1<<32 {
+		return nil, fmt.Errorf("label: implausible label count %d", total)
+	}
+	// The arrays are appended to as bytes actually arrive rather than
+	// allocated from the header counts, so a truncated or hostile header
+	// cannot demand gigabytes before the first short read fails.
+	var buf [4096]byte
+	offsets := make([]uint32, 0)
+	for remain := n + 1; remain > 0; {
+		chunk := len(buf) / 4
+		if chunk > remain {
+			chunk = remain
+		}
+		if _, err := io.ReadFull(br, buf[:chunk*4]); err != nil {
+			return nil, fmt.Errorf("label: reading flat offsets: %w", err)
+		}
+		for i := 0; i < chunk; i++ {
+			offsets = append(offsets, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		remain -= chunk
+	}
+	f := &FlatIndex{offsets: offsets}
+	if f.offsets[0] != 0 || uint64(f.offsets[n]) != total {
+		return nil, fmt.Errorf("label: flat offsets do not span the label array")
+	}
+	for v := 0; v < n; v++ {
+		if f.offsets[v] > f.offsets[v+1] {
+			return nil, fmt.Errorf("label: flat offsets not monotone at vertex %d", v)
+		}
+	}
+	f.entries = make([]uint64, 0)
+	for remain := total; remain > 0; {
+		chunk := uint64(len(buf) / 8)
+		if chunk > remain {
+			chunk = remain
+		}
+		if _, err := io.ReadFull(br, buf[:chunk*8]); err != nil {
+			return nil, fmt.Errorf("label: reading flat entries: %w", err)
+		}
+		for i := uint64(0); i < chunk; i++ {
+			f.entries = append(f.entries, binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		remain -= chunk
+	}
+	// Entries are ordered by hub in the high bits, so per-vertex
+	// monotonicity of the packed words is exactly hub sortedness; every
+	// hub must also name a vertex of this index, or the query paths'
+	// scratch and witness lookups would index out of range.
+	for v := 0; v < n; v++ {
+		for k := f.offsets[v] + 1; k < f.offsets[v+1]; k++ {
+			if f.entries[k-1]>>32 >= f.entries[k]>>32 {
+				return nil, fmt.Errorf("label: flat hubs of vertex %d not strictly sorted", v)
+			}
+		}
+	}
+	for k, e := range f.entries {
+		if e>>32 >= uint64(n) {
+			return nil, fmt.Errorf("label: flat entry %d has out-of-range hub %d (n=%d)", k, e>>32, n)
+		}
+	}
+	return f, nil
+}
+
+// ReadFrom replaces f's contents with a flat index read from r,
+// implementing io.ReaderFrom. The byte count is approximate on error.
+func (f *FlatIndex) ReadFrom(r io.Reader) (int64, error) {
+	g, err := ReadFlat(r)
+	if err != nil {
+		return 0, err
+	}
+	*f = *g
+	return 17 + int64(len(g.offsets))*4 + int64(len(g.entries))*8, nil
+}
+
 // WritePerm serializes a permutation (rank → original id).
 func WritePerm(w io.Writer, perm []int) error {
 	bw := bufio.NewWriter(w)

@@ -114,3 +114,88 @@ func LoadFile(path string) (*Index, error) {
 	defer f.Close()
 	return Load(f)
 }
+
+// Flat serving format:
+//
+//	magic   "CHFX"
+//	version 1 byte (currently 1)
+//	perm    (label.WritePerm) — rank → original id
+//	flat    packed label store (label.FlatIndex CHLF payload); runs are
+//	        ordered by original vertex id, hub ids are in rank space
+//
+// See ARCHITECTURE.md for the byte-level layout of the CHLF payload.
+var flatMagic = [4]byte{'C', 'H', 'F', 'X'}
+
+const flatVersion = 1
+
+// Save serializes the flat index (packed labels + ranking) to w.
+func (fx *FlatIndex) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(flatMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(flatVersion); err != nil {
+		return err
+	}
+	if err := label.WritePerm(bw, fx.perm); err != nil {
+		return err
+	}
+	if _, err := fx.flat.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the flat index to a file.
+func (fx *FlatIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fx.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFlat deserializes a flat index written by FlatIndex.Save.
+func LoadFlat(r io.Reader) (*FlatIndex, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("chl: reading flat magic: %w", err)
+	}
+	if hdr != flatMagic {
+		return nil, fmt.Errorf("chl: bad flat index magic %q", hdr[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("chl: reading flat version: %w", err)
+	}
+	if ver != flatVersion {
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want %d)", ver, flatVersion)
+	}
+	perm, err := label.ReadPerm(br)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := label.ReadFlat(br)
+	if err != nil {
+		return nil, err
+	}
+	if flat.NumVertices() != len(perm) {
+		return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", flat.NumVertices(), len(perm))
+	}
+	return &FlatIndex{flat: flat, perm: perm}, nil
+}
+
+// LoadFlatFile reads a flat index from a file.
+func LoadFlatFile(path string) (*FlatIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadFlat(f)
+}

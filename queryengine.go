@@ -2,11 +2,202 @@ package chl
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/label"
 	"repro/internal/query"
 )
+
+// FlatIndex is a frozen, serving-oriented view of an Index: all labels
+// packed into two contiguous arrays (CSR offsets + (hub uint32, dist
+// float32) entries, hub-sorted per vertex) plus the rank permutation, so
+// queries on original vertex ids run as straight-line merge-joins over
+// sequential memory. A FlatIndex is immutable, safe for concurrent
+// readers, and is the unit the binary serving format (SaveFlat/LoadFlat)
+// persists — build once with Build, freeze, save, then serve many times
+// without rebuilding.
+//
+// Distances are packed as float32: exact for the integer edge weights of
+// every generated dataset and DIMACS graph, approximate beyond ~7
+// significant digits otherwise.
+type FlatIndex struct {
+	// flat holds the packed runs in ORIGINAL-id order (freezing applies
+	// the permutation once), so the serving path needs no per-query rank
+	// translation; hub ids inside the entries stay in rank space, which
+	// is all the merge- and hash-joins compare.
+	flat *label.FlatIndex
+	perm []int // rank -> original id, for reporting witness hubs
+}
+
+// Freeze packs the index into its flat serving form. Directed indexes are
+// not yet supported.
+func (ix *Index) Freeze() (*FlatIndex, error) {
+	if ix.directed != nil {
+		return nil, fmt.Errorf("chl: Freeze supports undirected indexes only")
+	}
+	reordered := label.NewIndex(ix.n)
+	for v := 0; v < ix.n; v++ {
+		reordered.SetLabels(v, ix.ranked.Labels(ix.rank[v])) // aliases, read-only
+	}
+	return &FlatIndex{
+		flat: label.Freeze(reordered),
+		perm: append([]int(nil), ix.perm...),
+	}, nil
+}
+
+// NumVertices returns the number of vertices the index covers.
+func (fx *FlatIndex) NumVertices() int { return fx.flat.NumVertices() }
+
+// TotalLabels returns the packed label count.
+func (fx *FlatIndex) TotalLabels() int64 { return fx.flat.NumLabels() }
+
+// TotalMemory returns the byte footprint of the packed arrays (8 bytes per
+// label + 4 per vertex, versus 16 per label plus a slice header per vertex
+// for the slice-based Index).
+func (fx *FlatIndex) TotalMemory() int64 { return fx.flat.TotalMemory() }
+
+// Query returns the exact shortest-path distance between original vertex
+// ids u and v, or Infinity if unreachable.
+func (fx *FlatIndex) Query(u, v int) float64 {
+	return fx.flat.Query(u, v)
+}
+
+// QueryHub additionally reports the witness hub (as an original id).
+func (fx *FlatIndex) QueryHub(u, v int) (dist float64, hub int, ok bool) {
+	d, h, ok := fx.flat.QueryHub(u, v)
+	if !ok {
+		return d, 0, false
+	}
+	return d, fx.perm[h], true
+}
+
+// QueryScratch is a per-worker probe buffer for FlatIndex.QueryWith /
+// BatchEngine: 8 bytes per vertex, owned by one goroutine.
+type QueryScratch = label.QueryScratch
+
+// NewScratch allocates a probe buffer sized for this index.
+func (fx *FlatIndex) NewScratch() *QueryScratch {
+	return label.NewQueryScratch(fx.flat.NumVertices())
+}
+
+// QueryWith is Query through a hash-join over the caller's scratch buffer
+// instead of a merge-join — the fast path for serving loops, worth ~2× on
+// indexes whose scratch stays cache-resident (see label.FlatIndex).
+func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
+	return fx.flat.QueryWith(s, u, v)
+}
+
+// Thaw unpacks the flat store back into a queryable Index (labels only —
+// build metrics and per-node partitions are not part of the flat format).
+func (fx *FlatIndex) Thaw() *Index {
+	n := fx.flat.NumVertices()
+	rank := make([]int, n)
+	for pos, v := range fx.perm {
+		rank[v] = pos
+	}
+	ranked := label.NewIndex(n)
+	for v := 0; v < n; v++ {
+		ranked.SetLabels(rank[v], fx.flat.Labels(v))
+	}
+	return &Index{
+		n:      n,
+		ranked: ranked,
+		perm:   append([]int(nil), fx.perm...),
+		rank:   rank,
+	}
+}
+
+// BatchEngine serves point-to-point shortest-distance queries from a
+// FlatIndex at hardware speed: Batch fans the pairs out over a
+// runtime.GOMAXPROCS-sized worker pool, each worker merge-joining its
+// contiguous slice of the batch with zero allocation on the hot path.
+type BatchEngine struct {
+	fx      *FlatIndex
+	workers int
+}
+
+// NewBatchEngine freezes ix (undirected only) and returns a parallel batch
+// serving engine over it.
+func NewBatchEngine(ix *Index) (*BatchEngine, error) {
+	fx, err := ix.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return NewBatchEngineFlat(fx), nil
+}
+
+// NewBatchEngineFlat wraps an already-frozen (for instance, freshly
+// loaded) flat index.
+func NewBatchEngineFlat(fx *FlatIndex) *BatchEngine {
+	return &BatchEngine{fx: fx, workers: runtime.GOMAXPROCS(0)}
+}
+
+// Index returns the engine's underlying flat index.
+func (e *BatchEngine) Index() *FlatIndex { return e.fx }
+
+// Query answers one query (original ids).
+func (e *BatchEngine) Query(u, v int) float64 { return e.fx.Query(u, v) }
+
+// Batch answers every pair and returns the distances in order.
+func (e *BatchEngine) Batch(pairs []QueryPair) []float64 {
+	dst := make([]float64, len(pairs))
+	e.BatchInto(dst, pairs)
+	return dst
+}
+
+// BatchInto answers every pair into dst (len(dst) must equal len(pairs)),
+// reusing the caller's buffer so a serving loop allocates nothing.
+func (e *BatchEngine) BatchInto(dst []float64, pairs []QueryPair) {
+	if len(dst) != len(pairs) {
+		panic(fmt.Sprintf("chl: BatchInto dst length %d != pairs length %d", len(dst), len(pairs)))
+	}
+	workers := e.workers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		e.serveRange(dst, pairs, 0, len(pairs))
+		return
+	}
+	chunk := (len(pairs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.serveRange(dst, pairs, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// hashServeMaxVertices bounds the hash-join serving path: one scratch is 8
+// bytes per vertex and random-probed, so past ~1 MiB it thrashes the cache
+// and the sequential merge-join wins.
+const hashServeMaxVertices = 1 << 17
+
+func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
+	flat := e.fx.flat
+	if flat.NumVertices() <= hashServeMaxVertices {
+		s := label.NewQueryScratch(flat.NumVertices()) // per-worker probe buffer
+		for i := lo; i < hi; i++ {
+			dst[i] = flat.QueryWith(s, pairs[i].U, pairs[i].V)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		dst[i] = flat.Query(pairs[i].U, pairs[i].V)
+	}
+}
 
 // QueryMode selects a distributed query strategy (§6 of the paper).
 type QueryMode = query.Mode
