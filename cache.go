@@ -1,0 +1,194 @@
+package chl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Answer is one cached point-to-point query result: the exact distance,
+// the witness hub (an original vertex id, meaningful only when
+// Reachable), and reachability. Unreachable answers (Dist == Infinity)
+// are cached too — a fruitless full join over two label runs is exactly
+// the work worth not repeating.
+type Answer struct {
+	Dist      float64
+	Hub       int
+	Reachable bool
+}
+
+// Cache is a sharded, bounded LRU cache of point-to-point query answers.
+// Keys are unordered vertex pairs (the indexes it fronts are undirected,
+// so (u,v) and (v,u) share an entry). The key is hashed to one of P
+// power-of-two shards, each an independently locked map + intrusive LRU
+// list, so concurrent serving workers contend only when they collide on
+// a shard — P scales with GOMAXPROCS. Hit/miss counters are lock-free.
+//
+// A Cache holds answers from exactly one index generation. It has no
+// invalidation API on purpose: replacing the index means starting a new
+// Cache (Server builds one per Snapshot), which is what makes stale
+// answers across a hot swap structurally impossible rather than merely
+// unlikely.
+type Cache struct {
+	shards []cacheShard
+	mask   uint64
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	m   map[uint64]*cacheEntry
+	cap int
+	// Intrusive doubly-linked LRU ring through a sentinel: head.next is
+	// most recent, head.prev least recent. No container/list: one
+	// allocation per entry, no interface boxing.
+	head cacheEntry
+}
+
+type cacheEntry struct {
+	key        uint64
+	a          Answer
+	prev, next *cacheEntry
+}
+
+// NewCache returns a cache bounded to roughly capacity answers in total,
+// spread over a power-of-two number of shards sized to the machine's
+// parallelism. Capacities below one shard collapse to a single shard;
+// capacity <= 0 returns nil, which every consumer treats as "no cache".
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	shards := 1
+	for shards < runtime.GOMAXPROCS(0)*4 && shards < 256 {
+		shards <<= 1
+	}
+	if capacity < shards {
+		shards = 1
+	}
+	c := &Cache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.m = make(map[uint64]*cacheEntry, per)
+		s.cap = per
+		s.head.next, s.head.prev = &s.head, &s.head
+	}
+	return c
+}
+
+// pairKey packs the unordered pair into one word; vertex ids fit in 32
+// bits by the flat format's construction.
+func pairKey(u, v int) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// splitmix64 finalizer: shard selection must not correlate with the key's
+// low bits (consecutive vertex ids would pile onto one shard).
+func mixKey(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	return k ^ k>>31
+}
+
+// Get returns the cached answer for the unordered pair (u,v) and whether
+// it was present, promoting the entry to most-recently-used. Safe for
+// concurrent use.
+func (c *Cache) Get(u, v int) (Answer, bool) {
+	key := pairKey(u, v)
+	s := &c.shards[mixKey(key)&c.mask]
+	s.mu.Lock()
+	e, ok := s.m[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return Answer{}, false
+	}
+	e.unlink()
+	s.pushFront(e)
+	a := e.a
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return a, true
+}
+
+// Put stores the answer for the unordered pair (u,v), evicting the
+// shard's least-recently-used entry when the shard is full. Safe for
+// concurrent use.
+func (c *Cache) Put(u, v int, a Answer) {
+	key := pairKey(u, v)
+	s := &c.shards[mixKey(key)&c.mask]
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.a = a
+		e.unlink()
+		s.pushFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		lru := s.head.prev
+		lru.unlink()
+		delete(s.m, lru.key)
+	}
+	e := &cacheEntry{key: key, a: a}
+	s.m[key] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+func (e *cacheEntry) unlink() {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+}
+
+func (s *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = &s.head
+	e.next = s.head.next
+	e.next.prev = e
+	s.head.next = e
+}
+
+// Len returns the number of cached answers across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters, as
+// reported under "cache" by the /stats endpoint.
+type CacheStats struct {
+	Capacity int   `json:"capacity"`
+	Entries  int   `json:"entries"`
+	Shards   int   `json:"shards"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+}
+
+// Stats returns the cache's current size and cumulative hit/miss
+// counters. Counters are read lock-free, so under concurrent traffic the
+// snapshot is approximate by a few operations.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Capacity: c.shards[0].cap * len(c.shards),
+		Entries:  c.Len(),
+		Shards:   len(c.shards),
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+	}
+}

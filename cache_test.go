@@ -1,0 +1,115 @@
+package chl_test
+
+import (
+	"sync"
+	"testing"
+
+	chl "repro"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c := chl.NewCache(128)
+	if c == nil {
+		t.Fatal("NewCache(128) = nil")
+	}
+	if _, hit := c.Get(1, 2); hit {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, 2, chl.Answer{Dist: 7, Hub: 3, Reachable: true})
+	a, hit := c.Get(1, 2)
+	if !hit || a.Dist != 7 || a.Hub != 3 || !a.Reachable {
+		t.Fatalf("Get(1,2) = %+v, %v", a, hit)
+	}
+	// Unordered pairs share an entry.
+	if a, hit := c.Get(2, 1); !hit || a.Dist != 7 {
+		t.Fatalf("Get(2,1) = %+v, %v; want the (1,2) entry", a, hit)
+	}
+	// Unreachable answers are cached too.
+	c.Put(4, 5, chl.Answer{Dist: chl.Infinity})
+	if a, hit := c.Get(4, 5); !hit || a.Reachable || a.Dist != chl.Infinity {
+		t.Fatalf("unreachable answer not cached: %+v, %v", a, hit)
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("counters: %+v, want 3 hits, 1 miss", st)
+	}
+	if st.Entries != 2 || st.Capacity < 128 || st.Shards < 1 {
+		t.Fatalf("shape: %+v", st)
+	}
+	// Overwriting updates in place.
+	c.Put(1, 2, chl.Answer{Dist: 9, Hub: 0, Reachable: true})
+	if a, _ := c.Get(1, 2); a.Dist != 9 {
+		t.Fatalf("overwrite ignored: %+v", a)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	if c := chl.NewCache(0); c != nil {
+		t.Fatal("NewCache(0) should be nil (disabled)")
+	}
+	var c *chl.Cache
+	if st := c.Stats(); st != (chl.CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+// A single-shard cache evicts in LRU order once full.
+func TestCacheEvictsLRU(t *testing.T) {
+	c := chl.NewCache(3) // capacity < shard count collapses to one shard
+	c.Put(0, 1, chl.Answer{Dist: 1, Reachable: true})
+	c.Put(0, 2, chl.Answer{Dist: 2, Reachable: true})
+	c.Put(0, 3, chl.Answer{Dist: 3, Reachable: true})
+	c.Get(0, 1) // promote (0,1): (0,2) is now least recent
+	c.Put(0, 4, chl.Answer{Dist: 4, Reachable: true})
+	if _, hit := c.Get(0, 2); hit {
+		t.Fatal("LRU entry (0,2) survived eviction")
+	}
+	for _, v := range []int{1, 3, 4} {
+		if _, hit := c.Get(0, v); !hit {
+			t.Fatalf("recently used entry (0,%d) evicted", v)
+		}
+	}
+	if n := c.Len(); n != 3 {
+		t.Fatalf("Len() = %d after eviction, want 3", n)
+	}
+}
+
+// Hammer one cache from many goroutines; the race detector does the
+// asserting, the final check just ensures bounds held.
+func TestCacheConcurrent(t *testing.T) {
+	c := chl.NewCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				u, v := (w*i)%97, (i*31)%89
+				if a, hit := c.Get(u, v); hit {
+					if want := float64(pairWant(u, v)); a.Dist != want {
+						t.Errorf("Get(%d,%d) = %v, want %v", u, v, a.Dist, want)
+					}
+					continue
+				}
+				c.Put(u, v, chl.Answer{Dist: float64(pairWant(u, v)), Reachable: true})
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("cache overflowed: %d entries, capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Hits+st.Misses != 8*2000 {
+		t.Fatalf("counters lost operations: %d hits + %d misses != %d", st.Hits, st.Misses, 8*2000)
+	}
+}
+
+// pairWant derives a deterministic distance from an unordered pair, so
+// concurrent writers racing on the same key always store the same value.
+func pairWant(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*1000 + v
+}

@@ -12,16 +12,20 @@
 //	chlquery -index road.chl -save road.flat # freeze once ...
 //	chlquery -load road.flat -serve :8080    # ... serve many times
 //
-// The serving API:
+// Serving loads the flat file through chl.OpenFlat — memory-mapped and
+// zero-copy on platforms that support it — and hot-swaps index files
+// without dropping in-flight queries, via POST /reload or SIGHUP. The
+// serving API (JSON error bodies and schemas documented in README.md):
 //
 //	GET  /dist?u=17&v=3942      → {"u":17,"v":3942,"reachable":true,"dist":42,"hub":106}
 //	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
-//	GET  /stats                 → index size and memory figures
+//	GET  /stats                 → index shape, generation, cache hit/miss counters
+//	POST /reload?path=new.flat  → hot-swap to a new flat file (empty path: re-open the current file)
+//	GET  /healthz               → {"ok":true,"generation":N}
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -46,8 +50,14 @@ func main() {
 		mode      = flag.String("mode", "qlsn", "query mode for -bench: qlsn|qfdl|qdol|local")
 		nodes     = flag.Int("nodes", 16, "simulated cluster size for -bench")
 		seed      = flag.Int64("seed", 1, "seed for -bench query generation")
+		cacheCap  = flag.Int("cache", 1<<16, "answer cache capacity for -serve (0 disables)")
 	)
 	flag.Parse()
+
+	if *serveAddr != "" {
+		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap)
+		return
+	}
 
 	fx, ix, err := loadIndex(*indexPath, *loadPath)
 	if err != nil {
@@ -61,13 +71,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("saved flat index to %s\n", *savePath)
-		if *serveAddr == "" && *bench == 0 && flag.NArg() == 0 {
+		if *bench == 0 && flag.NArg() == 0 {
 			return
 		}
-	}
-	if *serveAddr != "" {
-		serve(*serveAddr, fx)
-		return
 	}
 	if *bench > 0 {
 		runBench(fx, ix, *bench, *mode, *nodes, *seed)
@@ -137,70 +143,63 @@ func answer(fx *chl.FlatIndex, u, v int) {
 	fmt.Printf("d(%d,%d) = %g (via hub %d)\n", u, v, d, hub)
 }
 
-// serve exposes the flat index over HTTP via the parallel batch engine.
-func serve(addr string, fx *chl.FlatIndex) {
-	eng := chl.NewBatchEngineFlat(fx)
-	n := fx.NumVertices()
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/dist", func(w http.ResponseWriter, r *http.Request) {
-		u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
-		v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
-		if err1 != nil || err2 != nil || u < 0 || v < 0 || u >= n || v >= n {
-			http.Error(w, fmt.Sprintf("u and v must be integers in [0,%d)", n), http.StatusBadRequest)
-			return
-		}
-		d, hub, ok := fx.QueryHub(u, v)
-		resp := map[string]any{"u": u, "v": v, "reachable": ok}
-		if ok {
-			resp["dist"] = d
-			resp["hub"] = hub
-		}
-		writeJSON(w, resp)
-	})
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST a JSON array of [u,v] pairs", http.StatusMethodNotAllowed)
-			return
-		}
-		var raw [][2]int
-		if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
-			http.Error(w, "body must be a JSON array of [u,v] pairs: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		pairs := make([]chl.QueryPair, len(raw))
-		for i, p := range raw {
-			if p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
-				http.Error(w, fmt.Sprintf("pair %d out of range [0,%d)", i, n), http.StatusBadRequest)
-				return
+// runServe builds the hot-swappable serving tier and blocks on HTTP. The
+// -load path opens the flat file mmap-backed (chl.OpenFlat); -index
+// freezes in process; -index plus -save freezes, persists, then serves
+// the saved file so /reload and SIGHUP have a file to re-open.
+func runServe(addr, indexPath, loadPath, savePath string, cacheCap int) {
+	var (
+		s   *chl.Server
+		err error
+	)
+	switch {
+	case indexPath != "" && loadPath != "":
+		fatal(fmt.Errorf("pass either -index or -load, not both"))
+	case loadPath != "":
+		if savePath != "" { // copy the flat file, then serve the copy
+			var fx *chl.FlatIndex
+			if fx, err = chl.LoadFlatFile(loadPath); err != nil {
+				break
 			}
-			pairs[i] = chl.QueryPair{U: p[0], V: p[1]}
-		}
-		dists := eng.Batch(pairs)
-		for i, d := range dists {
-			if d == chl.Infinity {
-				dists[i] = -1 // JSON has no +Inf
+			if err = fx.SaveFile(savePath); err != nil {
+				break
 			}
+			fmt.Printf("saved flat index to %s\n", savePath)
+			loadPath = savePath
 		}
-		writeJSON(w, map[string]any{"dists": dists})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, map[string]any{
-			"vertices":     n,
-			"labels":       fx.TotalLabels(),
-			"memory_bytes": fx.TotalMemory(),
-		})
-	})
-
-	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats)\n", addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("chlquery: writing response: %v", err)
+		s, err = chl.NewServer(loadPath, cacheCap)
+	case indexPath != "":
+		var ix *chl.Index
+		ix, err = chl.LoadFile(indexPath)
+		if err != nil {
+			break
+		}
+		var fx *chl.FlatIndex
+		fx, err = ix.Freeze()
+		if err != nil {
+			break
+		}
+		if savePath != "" {
+			if err = fx.SaveFile(savePath); err != nil {
+				break
+			}
+			fmt.Printf("saved flat index to %s\n", savePath)
+			s, err = chl.NewServer(savePath, cacheCap)
+		} else {
+			s = chl.NewServerFromFlat(fx, cacheCap)
+		}
+	default:
+		fatal(fmt.Errorf("pass -index FILE or -load FILE"))
 	}
+	if err != nil {
+		fatal(err)
+	}
+	st := s.Stats()
+	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v cache=%d\n",
+		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, cacheCap)
+	installReload(s)
+	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz)\n", addr)
+	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }
 
 func runBench(fx *chl.FlatIndex, ix *chl.Index, count int, modeName string, nodes int, seed int64) {

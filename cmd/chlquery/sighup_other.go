@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import chl "repro"
+
+// installReload is a no-op where SIGHUP does not exist; POST /reload
+// remains available.
+func installReload(s *chl.Server) {}

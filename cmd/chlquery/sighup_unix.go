@@ -1,0 +1,30 @@
+//go:build unix
+
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	chl "repro"
+)
+
+// installReload hot-swaps the served index on SIGHUP, re-opening the
+// file the current snapshot came from — the classic "replace the file,
+// kill -HUP the server" deploy, with zero dropped in-flight queries.
+func installReload(s *chl.Server) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		for range ch {
+			gen, err := s.Reload("")
+			if err != nil {
+				log.Printf("chlquery: SIGHUP reload failed, keeping current index: %v", err)
+				continue
+			}
+			log.Printf("chlquery: reloaded index, generation %d", gen)
+		}
+	}()
+}

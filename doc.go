@@ -51,12 +51,30 @@
 //
 //	fx, _ := ix.Freeze()
 //	fx.SaveFile("road.flat")                        // once
-//	fx, _ = chl.LoadFlatFile("road.flat")           // every serving process
+//	fx, _ = chl.OpenFlat("road.flat")               // every serving process, mmap-backed
 //	eng := chl.NewBatchEngineFlat(fx)
 //	dists := eng.Batch(pairs)                       // parallel, zero-alloc hot path
 //
-// cmd/chlquery wraps this flow (-save / -load) and exposes it over HTTP
-// (-serve): GET /dist?u=&v= and POST /batch.
+// OpenFlat serves the file's label arrays zero-copy from a memory
+// mapping when the host allows (LoadFlatMapped), falling back to the
+// copying loader (LoadFlatFile) otherwise — the kernel pages labels in
+// on demand and serving processes of the same file share one physical
+// copy.
+//
+// The production tier on top is Server: a hot-swappable Snapshot of the
+// index behind an atomic pointer, an optional sharded LRU Cache of full
+// answers (NewCache, per snapshot — a swap can never serve stale
+// distances), and an HTTP Handler. Server.Reload publishes a new index
+// file with zero dropped in-flight queries: old queries drain on their
+// generation, whose mapping is unmapped by the last one out.
+//
+//	s, _ := chl.NewServer("road.flat", 1<<16)       // mmap + 64k-answer cache
+//	http.ListenAndServe(":8080", s.Handler())       // /dist /batch /stats /reload /healthz
+//	s.Reload("road-v2.flat")                        // hot swap, no downtime
+//
+// cmd/chlquery wraps this flow (-save / -load / -serve / -cache) and
+// additionally reloads on SIGHUP; README.md documents the HTTP API's
+// request and response schemas.
 //
 // # Distributed execution
 //

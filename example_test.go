@@ -3,6 +3,8 @@ package chl_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	chl "repro"
 )
@@ -86,6 +88,82 @@ func ExampleNewBatchEngineFlat() {
 	// Output:
 	// batch size: 2
 	// matches build: true
+}
+
+// The full production flow: Freeze the build, Save it to disk, load it
+// back with the serving loader (LoadFlat reads any version; OpenFlat
+// memory-maps when the platform allows), and serve batches in parallel
+// through NewBatchEngineFlat.
+func ExampleIndex_Freeze_serving() {
+	g := chl.GenerateRoadGrid(10, 10, 1)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	fx, _ := ix.Freeze()
+
+	dir, _ := os.MkdirTemp("", "chl-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "grid.flat")
+	if err := fx.SaveFile(path); err != nil { // once, at build time
+		panic(err)
+	}
+	served, err := chl.OpenFlat(path) // every serving process, zero-copy when mappable
+	if err != nil {
+		panic(err)
+	}
+	defer served.Close()
+	eng := chl.NewBatchEngineFlat(served)
+	dists := eng.Batch([]chl.QueryPair{{U: 0, V: 99}, {U: 9, V: 90}})
+	fmt.Println("matches build:", dists[0] == ix.Query(0, 99) && dists[1] == ix.Query(9, 90))
+	// Output: matches build: true
+}
+
+// A Cache fronts an engine with a sharded, bounded LRU of full answers;
+// hit/miss counters feed the /stats endpoint.
+func ExampleNewCache() {
+	g := chl.GenerateRoadGrid(8, 8, 1)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	eng, _ := chl.NewBatchEngine(ix)
+	eng.SetCache(chl.NewCache(1024))
+
+	first := eng.Query(0, 63)  // miss: join over the label arrays
+	second := eng.Query(63, 0) // hit: pairs are unordered
+	st := eng.Cache().Stats()
+	fmt.Println("same answer:", first == second)
+	fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
+	// Output:
+	// same answer: true
+	// hits=1 misses=1
+}
+
+// A Server hot-swaps index generations with zero dropped queries: each
+// Reload atomically publishes a freshly validated snapshot (with its own
+// cache, so no stale answers), drains the old one, then unmaps it.
+func ExampleServer() {
+	dir, _ := os.MkdirTemp("", "chl-example")
+	defer os.RemoveAll(dir)
+	build := func(seed int64, name string) string {
+		g := chl.GenerateRoadGrid(8, 8, seed) // different seed, different edge weights
+		ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+		fx, _ := ix.Freeze()
+		path := filepath.Join(dir, name)
+		if err := fx.SaveFile(path); err != nil {
+			panic(err)
+		}
+		return path
+	}
+	s, err := chl.NewServer(build(1, "v1.flat"), 1024)
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	before := s.Query(0, 63)
+	if _, err := s.Reload(build(2, "v2.flat")); err != nil { // hot swap
+		panic(err)
+	}
+	fmt.Println("generation:", s.Stats().Generation)
+	fmt.Println("new weights served:", s.Query(0, 63) != before)
+	// Output:
+	// generation: 2
+	// new weights served: true
 }
 
 // Query engines deploy a built index across simulated nodes under the

@@ -177,6 +177,45 @@ func (f *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
 	return best
 }
 
+// QueryHubWith is QueryWith plus the witness hub: the hash-join serving
+// kernel for cached engines, whose cache entries store the full answer.
+// The probe run is hub-sorted, so the strict improvement test selects the
+// highest-ranked (smallest id) hub among equal-distance witnesses —
+// exactly QueryHub's tie-break.
+func (f *FlatIndex) QueryHubWith(s *QueryScratch, u, v int) (dist float64, hub uint32, ok bool) {
+	i, iEnd := f.offsets[u], f.offsets[u+1]
+	j, jEnd := f.offsets[v], f.offsets[v+1]
+	if iEnd-i > jEnd-j {
+		i, iEnd, j, jEnd = j, jEnd, i, iEnd
+	}
+	dist = Infinity
+	if i == iEnd || j == jEnd {
+		return dist, 0, false
+	}
+	iMax, jMax := f.entries[iEnd-1]|0xffffffff, f.entries[jEnd-1]|0xffffffff
+	for iEnd > i && f.entries[iEnd-1] > jMax {
+		iEnd--
+	}
+	s.bump()
+	cur := uint64(s.current) << 32
+	slot := s.slot
+	for _, e := range f.entries[i:iEnd] {
+		slot[e>>32] = cur | e&0xffffffff
+	}
+	for _, e := range f.entries[j:jEnd] {
+		if e > iMax {
+			break
+		}
+		w := slot[e>>32]
+		if w&^uint64(0xffffffff) == cur {
+			if d := float64(math.Float32frombits(uint32(w))) + entryDist(e); d < dist {
+				dist, hub, ok = d, uint32(e>>32), true
+			}
+		}
+	}
+	return dist, hub, ok
+}
+
 // QueryHub answers the PPSD query and also reports the witness hub. Among
 // equal-distance witnesses the highest-ranked (smallest id) hub wins, as
 // in QueryMerge.

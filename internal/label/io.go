@@ -197,13 +197,11 @@ func ReadFlat(r io.Reader) (*FlatIndex, error) {
 		remain -= chunk
 	}
 	f := &FlatIndex{offsets: offsets}
+	// Cheap span fail-fast before reading the (much larger) entry
+	// stream; validate() below re-checks it in O(1) along with the full
+	// structural invariants.
 	if f.offsets[0] != 0 || uint64(f.offsets[n]) != total {
 		return nil, fmt.Errorf("label: flat offsets do not span the label array")
-	}
-	for v := 0; v < n; v++ {
-		if f.offsets[v] > f.offsets[v+1] {
-			return nil, fmt.Errorf("label: flat offsets not monotone at vertex %d", v)
-		}
 	}
 	f.entries = make([]uint64, 0)
 	for remain := total; remain > 0; {
@@ -219,23 +217,45 @@ func ReadFlat(r io.Reader) (*FlatIndex, error) {
 		}
 		remain -= chunk
 	}
-	// Entries are ordered by hub in the high bits, so per-vertex
-	// monotonicity of the packed words is exactly hub sortedness; every
-	// hub must also name a vertex of this index, or the query paths'
-	// scratch and witness lookups would index out of range.
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// validate checks the structural invariants every loader (copying or
+// memory-mapped) must establish before the query paths may trust the
+// arrays: the offsets span the entry array monotonically, per-vertex hubs
+// are strictly sorted (entries are ordered by hub in the high bits, so
+// monotonicity of the packed words is exactly hub sortedness), and every
+// hub names a vertex of this index — otherwise the scratch and witness
+// lookups would index out of range.
+func (f *FlatIndex) validate() error {
+	n := f.NumVertices()
+	if n < 0 {
+		return fmt.Errorf("label: flat index has no offsets")
+	}
+	if f.offsets[0] != 0 || int64(f.offsets[n]) != int64(len(f.entries)) {
+		return fmt.Errorf("label: flat offsets do not span the label array")
+	}
+	for v := 0; v < n; v++ {
+		if f.offsets[v] > f.offsets[v+1] {
+			return fmt.Errorf("label: flat offsets not monotone at vertex %d", v)
+		}
+	}
 	for v := 0; v < n; v++ {
 		for k := f.offsets[v] + 1; k < f.offsets[v+1]; k++ {
 			if f.entries[k-1]>>32 >= f.entries[k]>>32 {
-				return nil, fmt.Errorf("label: flat hubs of vertex %d not strictly sorted", v)
+				return fmt.Errorf("label: flat hubs of vertex %d not strictly sorted", v)
 			}
 		}
 	}
 	for k, e := range f.entries {
 		if e>>32 >= uint64(n) {
-			return nil, fmt.Errorf("label: flat entry %d has out-of-range hub %d (n=%d)", k, e>>32, n)
+			return fmt.Errorf("label: flat entry %d has out-of-range hub %d (n=%d)", k, e>>32, n)
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // ReadFrom replaces f's contents with a flat index read from r,

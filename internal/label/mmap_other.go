@@ -1,0 +1,14 @@
+//go:build !unix
+
+package label
+
+import (
+	"fmt"
+	"os"
+)
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("%w: no mmap on this platform", ErrNotMappable)
+}
+
+func munmapBytes(b []byte) error { return nil }

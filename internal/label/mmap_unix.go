@@ -1,0 +1,16 @@
+//go:build unix
+
+package label
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared. The mapping outlives
+// the file descriptor, so callers may close f immediately afterwards.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

@@ -2,6 +2,9 @@ package chl
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -118,15 +121,37 @@ func LoadFile(path string) (*Index, error) {
 // Flat serving format:
 //
 //	magic   "CHFX"
-//	version 1 byte (currently 1)
+//	version 1 byte (currently 2)
+//	padlen  1 byte            version ≥ 2 only
+//	pad     padlen zero bytes version ≥ 2 only
 //	perm    (label.WritePerm) — rank → original id
 //	flat    packed label store (label.FlatIndex CHLF payload); runs are
 //	        ordered by original vertex id, hub ids are in rank space
 //
+// Version 2 inserts pad bytes sized so that the CHLF entries array lands
+// on an 8-byte boundary within the file, which lets LoadFlatMapped serve
+// the arrays zero-copy straight from a memory mapping. Version 1 files
+// (unpadded) are still read by the copying loader.
+//
 // See ARCHITECTURE.md for the byte-level layout of the CHLF payload.
 var flatMagic = [4]byte{'C', 'H', 'F', 'X'}
 
-const flatVersion = 1
+const (
+	flatVersion       = 2 // written; entries 8-byte aligned for mmap
+	flatVersionLegacy = 1 // still read: identical but unpadded
+)
+
+// flatPad returns the pad length for a flat file over n vertices: the
+// bytes between the pad-length byte and the permutation that bring the
+// CHLF entries array to an 8-byte file offset. Everything before the
+// entries — 6 header bytes, the pad, the 4+4n permutation, the 17-byte
+// CHLF header, the 4(n+1) offsets — sums to 31+pad (mod 8), so the pad is
+// the same for every n; the formula keeps the writer and the mapped
+// loader honest about why.
+func flatPad(n int) int {
+	pre := 6 + (4 + 4*n) + 17 + 4*(n+1)
+	return (8 - pre%8) % 8
+}
 
 // Save serializes the flat index (packed labels + ranking) to w.
 func (fx *FlatIndex) Save(w io.Writer) error {
@@ -135,6 +160,13 @@ func (fx *FlatIndex) Save(w io.Writer) error {
 		return err
 	}
 	if err := bw.WriteByte(flatVersion); err != nil {
+		return err
+	}
+	pad := flatPad(len(fx.perm))
+	if err := bw.WriteByte(byte(pad)); err != nil {
+		return err
+	}
+	if _, err := bw.Write(make([]byte, pad)); err != nil {
 		return err
 	}
 	if err := label.WritePerm(bw, fx.perm); err != nil {
@@ -173,8 +205,19 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chl: reading flat version: %w", err)
 	}
-	if ver != flatVersion {
-		return nil, fmt.Errorf("chl: unsupported flat index version %d (want %d)", ver, flatVersion)
+	switch ver {
+	case flatVersionLegacy:
+		// No alignment pad.
+	case flatVersion:
+		pad, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("chl: reading flat pad length: %w", err)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(pad)); err != nil {
+			return nil, fmt.Errorf("chl: skipping flat pad: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersion)
 	}
 	perm, err := label.ReadPerm(br)
 	if err != nil {
@@ -190,7 +233,9 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 	return &FlatIndex{flat: flat, perm: perm}, nil
 }
 
-// LoadFlatFile reads a flat index from a file.
+// LoadFlatFile reads a flat index from a file into the heap. It accepts
+// every CHFX version; for the zero-copy serving path use OpenFlat, which
+// prefers LoadFlatMapped and falls back to this loader.
 func LoadFlatFile(path string) (*FlatIndex, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -198,4 +243,100 @@ func LoadFlatFile(path string) (*FlatIndex, error) {
 	}
 	defer f.Close()
 	return LoadFlat(f)
+}
+
+// LoadFlatMapped memory-maps the flat index file at path and serves the
+// label arrays zero-copy from the mapping: loading is O(validation)
+// rather than O(copy), the kernel pages label data in on demand, and
+// concurrent serving processes of the same file share one physical copy.
+// Only the small rank permutation is materialized on the heap.
+//
+// The returned index holds the mapping until Close is called; the file
+// must not be modified or truncated while mapped (replace index files by
+// writing a new file and reloading, never in place — Server.Reload
+// encapsulates that discipline). Errors wrapping label.ErrNotMappable
+// mean the file is valid but cannot be mapped on this host (no mmap
+// support, big-endian, or an unpadded version-1 file); OpenFlat handles
+// the fallback.
+func LoadFlatMapped(path string) (*FlatIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Parse the CHFX framing with exact reads (no buffering) so the byte
+	// offset of the CHLF payload is known precisely.
+	var hdr [6]byte
+	if _, err := io.ReadFull(f, hdr[:6]); err != nil {
+		return nil, fmt.Errorf("chl: reading flat header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != flatMagic {
+		return nil, fmt.Errorf("chl: bad flat index magic %q", hdr[:4])
+	}
+	off := int64(6)
+	switch ver := hdr[4]; ver {
+	case flatVersionLegacy:
+		// Version 1 has no pad byte: hdr[5] was the first permutation
+		// byte. Its arrays are unaligned anyway, so don't bother
+		// rewinding — report not-mappable and let OpenFlat fall back.
+		return nil, fmt.Errorf("%w: CHFX version 1 predates alignment padding", label.ErrNotMappable)
+	case flatVersion:
+		off += int64(hdr[5])
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("chl: seeking past flat pad: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersion)
+	}
+	var cnt [4]byte
+	if _, err := io.ReadFull(f, cnt[:]); err != nil {
+		return nil, fmt.Errorf("chl: reading perm length: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(cnt[:]))
+	// Bound the perm allocation by the file's actual size before trusting
+	// the count — a corrupt or hostile header must not be able to demand
+	// gigabytes (this loader feeds POST /reload).
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if off+4+4*n > st.Size() {
+		return nil, fmt.Errorf("chl: perm of %d entries does not fit in file of %d bytes", n, st.Size())
+	}
+	// Replay the already-consumed length prefix, then let ReadPerm parse
+	// straight from the file (its internal buffering may read past the
+	// perm; the payload below is re-addressed by offset, not by reading
+	// on).
+	perm, err := label.ReadPerm(io.MultiReader(bytes.NewReader(cnt[:]), f))
+	if err != nil {
+		return nil, err
+	}
+	off += 4 + 4*n
+	// Map from the SAME open descriptor the framing was read from: an
+	// atomic-rename deploy racing this load must not pair one inode's
+	// permutation with another's label arrays.
+	flat, closer, err := label.MapFlatFile(f, off)
+	if err != nil {
+		return nil, err
+	}
+	if flat.NumVertices() != len(perm) {
+		closer()
+		return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", flat.NumVertices(), len(perm))
+	}
+	return &FlatIndex{flat: flat, perm: perm, close: closer, mapped: true}, nil
+}
+
+// OpenFlat opens a flat index file for serving: memory-mapped when the
+// host and file allow it, otherwise copied to the heap. This is the
+// loader the serving tier (Server, cmd/chlquery -serve) uses; check
+// Mapped to see which path was taken, and Close the index when done.
+func OpenFlat(path string) (*FlatIndex, error) {
+	fx, err := LoadFlatMapped(path)
+	if err == nil {
+		return fx, nil
+	}
+	if !errors.Is(err, label.ErrNotMappable) {
+		return nil, err
+	}
+	return LoadFlatFile(path)
 }

@@ -29,6 +29,29 @@ type FlatIndex struct {
 	// is all the merge- and hash-joins compare.
 	flat *label.FlatIndex
 	perm []int // rank -> original id, for reporting witness hubs
+
+	// Set by LoadFlatMapped: the arrays alias a memory-mapped file that
+	// close releases. Heap-backed indexes leave both zero.
+	close  func() error
+	mapped bool
+}
+
+// Mapped reports whether the index serves zero-copy from a memory-mapped
+// file (LoadFlatMapped / OpenFlat) rather than from heap arrays.
+func (fx *FlatIndex) Mapped() bool { return fx.mapped }
+
+// Close releases the file mapping of a mapped index; the index must not
+// be queried afterwards. On heap-backed indexes Close is a no-op. It is
+// idempotent but not concurrency-safe against in-flight queries — the
+// snapshot layer (Server) ref-counts to close only after the last query
+// drains.
+func (fx *FlatIndex) Close() error {
+	if fx.close == nil {
+		return nil
+	}
+	c := fx.close
+	fx.close = nil
+	return c()
 }
 
 // Freeze packs the index into its flat serving form. Directed indexes are
@@ -89,6 +112,17 @@ func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
 	return fx.flat.QueryWith(s, u, v)
 }
 
+// QueryHubWith is QueryWith plus the witness hub (as an original id) —
+// the kernel cached engines use to fill cache entries at hash-join
+// speed.
+func (fx *FlatIndex) QueryHubWith(s *QueryScratch, u, v int) (dist float64, hub int, ok bool) {
+	d, h, ok := fx.flat.QueryHubWith(s, u, v)
+	if !ok {
+		return d, 0, false
+	}
+	return d, fx.perm[h], true
+}
+
 // Thaw unpacks the flat store back into a queryable Index (labels only —
 // build metrics and per-node partitions are not part of the flat format).
 func (fx *FlatIndex) Thaw() *Index {
@@ -116,6 +150,7 @@ func (fx *FlatIndex) Thaw() *Index {
 type BatchEngine struct {
 	fx      *FlatIndex
 	workers int
+	cache   *Cache // nil: uncached (the default)
 }
 
 // NewBatchEngine freezes ix (undirected only) and returns a parallel batch
@@ -137,8 +172,41 @@ func NewBatchEngineFlat(fx *FlatIndex) *BatchEngine {
 // Index returns the engine's underlying flat index.
 func (e *BatchEngine) Index() *FlatIndex { return e.fx }
 
-// Query answers one query (original ids).
-func (e *BatchEngine) Query(u, v int) float64 { return e.fx.Query(u, v) }
+// SetCache attaches a point-to-point answer cache to the engine (nil
+// detaches). Cached lookups serve repeated pairs without touching the
+// label arrays; misses fall through to the join kernels and populate the
+// cache with the full answer (distance + witness hub). The cache must
+// only ever hold answers from this engine's index — on an index swap,
+// start a fresh cache (Server does this per snapshot).
+func (e *BatchEngine) SetCache(c *Cache) { e.cache = c }
+
+// Cache returns the engine's attached cache, or nil.
+func (e *BatchEngine) Cache() *Cache { return e.cache }
+
+// Query answers one query (original ids), through the cache when one is
+// attached.
+func (e *BatchEngine) Query(u, v int) float64 {
+	if e.cache == nil {
+		return e.fx.Query(u, v)
+	}
+	d, _, _ := e.QueryHub(u, v)
+	return d
+}
+
+// QueryHub answers one query with its witness hub, through the cache
+// when one is attached.
+func (e *BatchEngine) QueryHub(u, v int) (dist float64, hub int, ok bool) {
+	if e.cache != nil {
+		if a, hit := e.cache.Get(u, v); hit {
+			return a.Dist, a.Hub, a.Reachable
+		}
+	}
+	dist, hub, ok = e.fx.QueryHub(u, v)
+	if e.cache != nil {
+		e.cache.Put(u, v, Answer{Dist: dist, Hub: hub, Reachable: ok})
+	}
+	return dist, hub, ok
+}
 
 // Batch answers every pair and returns the distances in order.
 func (e *BatchEngine) Batch(pairs []QueryPair) []float64 {
@@ -187,6 +255,32 @@ const hashServeMaxVertices = 1 << 17
 
 func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
 	flat := e.fx.flat
+	if e.cache != nil {
+		// Cached path: each worker consults the shared sharded cache and
+		// computes misses with a hub-reporting kernel, so the cache
+		// always holds the complete answer (/dist can reuse a /batch
+		// miss and vice versa). Misses keep the hash-join fast path
+		// whenever the uncached engine would use it.
+		if flat.NumVertices() <= hashServeMaxVertices {
+			s := label.NewQueryScratch(flat.NumVertices())
+			for i := lo; i < hi; i++ {
+				p := pairs[i]
+				if a, hit := e.cache.Get(p.U, p.V); hit {
+					dst[i] = a.Dist
+					continue
+				}
+				d, h, ok := e.fx.QueryHubWith(s, p.U, p.V)
+				e.cache.Put(p.U, p.V, Answer{Dist: d, Hub: h, Reachable: ok})
+				dst[i] = d
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			d, _, _ := e.QueryHub(pairs[i].U, pairs[i].V)
+			dst[i] = d
+		}
+		return
+	}
 	if flat.NumVertices() <= hashServeMaxVertices {
 		s := label.NewQueryScratch(flat.NumVertices()) // per-worker probe buffer
 		for i := lo; i < hi; i++ {

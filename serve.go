@@ -1,0 +1,410 @@
+package chl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBatchBytes bounds a /batch request body; past this the decoder never
+// runs, so a hostile client cannot make the server buffer gigabytes.
+const maxBatchBytes = 64 << 20
+
+// Snapshot is one immutable generation of a served index: a flat index
+// (usually mmap-backed), its batch engine, and a cache born with it.
+// Snapshots are reference-counted: the Server holds one reference while
+// the snapshot is current, and every in-flight query holds one from
+// Acquire to Release. The underlying file mapping is unmapped by
+// whichever Release drops the count to zero — after a hot swap the old
+// generation therefore drains naturally, with no query ever touching
+// unmapped memory and no reader ever blocking a reload.
+type Snapshot struct {
+	fx       *FlatIndex
+	eng      *BatchEngine
+	path     string
+	gen      uint64
+	loadedAt time.Time
+
+	refs      atomic.Int64
+	closeOnce sync.Once
+}
+
+// Index returns the snapshot's flat index.
+func (sn *Snapshot) Index() *FlatIndex { return sn.fx }
+
+// Engine returns the snapshot's batch engine (cache attached).
+func (sn *Snapshot) Engine() *BatchEngine { return sn.eng }
+
+// Generation returns the snapshot's monotonically increasing generation
+// number (1 for the index the server started with).
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Path returns the file this snapshot was loaded from ("" when the
+// server was built from an in-memory index).
+func (sn *Snapshot) Path() string { return sn.path }
+
+// Release returns a reference taken by Server.Acquire. The last release
+// of a retired snapshot closes its file mapping.
+func (sn *Snapshot) Release() {
+	if sn.refs.Add(-1) == 0 {
+		sn.closeOnce.Do(func() { sn.fx.Close() })
+	}
+}
+
+// Server serves point-to-point distance queries from a hot-swappable
+// snapshot of a flat index. The current snapshot is an atomic pointer:
+// queries acquire it wait-free, and Reload publishes a fully validated
+// replacement in one store — in-flight queries finish on the generation
+// they started on, new queries see the new one, and the old mapping is
+// unmapped only after its last query drains. A failed reload leaves the
+// current snapshot serving untouched.
+//
+// Handler exposes the HTTP API (/dist, /batch, /stats, /reload,
+// /healthz) documented in README.md; the query methods serve embedders
+// directly.
+type Server struct {
+	cur       atomic.Pointer[Snapshot]
+	mu        sync.Mutex // serializes Reload
+	cacheSize int
+	gen       atomic.Uint64
+	queries   atomic.Int64
+	reloads   atomic.Int64
+	start     time.Time
+}
+
+// NewServer opens the flat index file at path (memory-mapped when
+// possible — see OpenFlat) and returns a server for it. cacheSize bounds
+// the per-snapshot answer cache; <= 0 disables caching.
+func NewServer(path string, cacheSize int) (*Server, error) {
+	fx, err := OpenFlat(path)
+	if err != nil {
+		return nil, err
+	}
+	s := newServer(cacheSize)
+	s.install(fx, path)
+	return s, nil
+}
+
+// NewServerFromFlat wraps an already loaded or freshly frozen index. The
+// server takes ownership of fx; Reload still works and swaps to flat
+// index files.
+func NewServerFromFlat(fx *FlatIndex, cacheSize int) *Server {
+	s := newServer(cacheSize)
+	s.install(fx, "")
+	return s
+}
+
+func newServer(cacheSize int) *Server {
+	return &Server{cacheSize: cacheSize, start: time.Now()}
+}
+
+// install publishes fx as the next generation and retires the previous
+// snapshot (dropping the server's reference; the mapping closes when the
+// last in-flight query releases).
+func (s *Server) install(fx *FlatIndex, path string) *Snapshot {
+	eng := NewBatchEngineFlat(fx)
+	eng.SetCache(NewCache(s.cacheSize))
+	sn := &Snapshot{
+		fx:       fx,
+		eng:      eng,
+		path:     path,
+		gen:      s.gen.Add(1),
+		loadedAt: time.Now(),
+	}
+	sn.refs.Store(1) // the server's own reference
+	if old := s.cur.Swap(sn); old != nil {
+		old.Release()
+	}
+	return sn
+}
+
+// Acquire returns the current snapshot with a reference held; the caller
+// must Release it when done querying. Acquire is wait-free against
+// concurrent reloads. It panics on a closed server — a loud failure
+// beats the alternative, which would be handing out a generation whose
+// mapping is already released.
+func (s *Server) Acquire() *Snapshot {
+	for {
+		sn := s.cur.Load()
+		if sn == nil {
+			panic("chl: Server used after Close")
+		}
+		sn.refs.Add(1)
+		if s.cur.Load() == sn {
+			return sn
+		}
+		// A reload (or Close) won the race; this snapshot may be
+		// draining. Put the reference back and take the new generation.
+		sn.Release()
+	}
+}
+
+// Reload loads the flat index file at path (the current snapshot's own
+// file when path is "", e.g. after it was atomically replaced on disk)
+// and hot-swaps it in, returning the new generation number. Queries in
+// flight on the old snapshot finish untouched; its mapping is closed
+// after the last one drains. On error the current snapshot keeps
+// serving. Reloads are serialized; queries are never blocked.
+func (s *Server) Reload(path string) (uint64, error) {
+	sn, err := s.reload(path)
+	if err != nil {
+		return 0, err
+	}
+	return sn.gen, nil
+}
+
+// reload returns the installed snapshot so handleReload can describe
+// exactly the generation it installed (not whatever a racing reload has
+// since published). The caller holds no reference: only the snapshot's
+// immutable metadata may be read, never its label arrays.
+func (s *Server) reload(path string) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if path == "" {
+		cur := s.cur.Load()
+		if cur == nil {
+			return nil, fmt.Errorf("chl: Server used after Close")
+		}
+		path = cur.path
+		if path == "" {
+			return nil, fmt.Errorf("chl: reload needs a path: the server was built from an in-memory index")
+		}
+	}
+	fx, err := OpenFlat(path)
+	if err != nil {
+		return nil, err
+	}
+	sn := s.install(fx, path)
+	s.reloads.Add(1)
+	return sn, nil
+}
+
+// Close retires the current snapshot (its mapping closes once in-flight
+// queries drain). The server must not be queried afterwards: the
+// current-snapshot pointer is cleared first, so a racing Acquire panics
+// rather than touching unmapped memory.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn := s.cur.Swap(nil); sn != nil {
+		sn.Release()
+	}
+	return nil
+}
+
+// Query answers one point-to-point query on the current snapshot,
+// through its cache.
+func (s *Server) Query(u, v int) float64 {
+	d, _, _ := s.QueryHub(u, v)
+	return d
+}
+
+// QueryHub answers one query with its witness hub on the current
+// snapshot, through its cache.
+func (s *Server) QueryHub(u, v int) (dist float64, hub int, ok bool) {
+	sn := s.Acquire()
+	defer sn.Release()
+	s.queries.Add(1)
+	return sn.eng.QueryHub(u, v)
+}
+
+// Batch answers a batch of queries on the current snapshot.
+func (s *Server) Batch(pairs []QueryPair) []float64 {
+	sn := s.Acquire()
+	defer sn.Release()
+	s.queries.Add(int64(len(pairs)))
+	return sn.eng.Batch(pairs)
+}
+
+// ServerStats is the /stats response: the current snapshot's shape and
+// provenance plus the server's cumulative counters.
+type ServerStats struct {
+	Vertices      int         `json:"vertices"`
+	Labels        int64       `json:"labels"`
+	MemoryBytes   int64       `json:"memory_bytes"`
+	Mapped        bool        `json:"mapped"`
+	Path          string      `json:"path,omitempty"`
+	Generation    uint64      `json:"generation"`
+	LoadedAt      time.Time   `json:"loaded_at"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Queries       int64       `json:"queries_total"`
+	Reloads       int64       `json:"reloads_total"`
+	Cache         *CacheStats `json:"cache,omitempty"`
+}
+
+// Stats reports the server's current state.
+func (s *Server) Stats() ServerStats {
+	sn := s.Acquire()
+	defer sn.Release()
+	st := ServerStats{
+		Vertices:      sn.fx.NumVertices(),
+		Labels:        sn.fx.TotalLabels(),
+		MemoryBytes:   sn.fx.TotalMemory(),
+		Mapped:        sn.fx.Mapped(),
+		Path:          sn.path,
+		Generation:    sn.gen,
+		LoadedAt:      sn.loadedAt,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.queries.Load(),
+		Reloads:       s.reloads.Load(),
+	}
+	if c := sn.eng.Cache(); c != nil {
+		cs := c.Stats()
+		st.Cache = &cs
+	}
+	return st
+}
+
+// Handler returns the HTTP API: GET /dist, POST /batch, GET /stats,
+// POST /reload, GET /healthz. Every error is a JSON body
+// {"error": "..."} with a precise status code; see README.md for the
+// full request/response schemas.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist", s.handleDist)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /dist?u=&v=")
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+	v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "u and v must be integer vertex ids")
+		return
+	}
+	if u < 0 || v < 0 || u >= n || v >= n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
+		return
+	}
+	s.queries.Add(1)
+	d, hub, ok := sn.eng.QueryHub(u, v)
+	resp := map[string]any{"u": u, "v": v, "reachable": ok}
+	if ok {
+		resp["dist"] = d
+		resp["hub"] = hub
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON array of [u,v] pairs")
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	// Decode into slices, not [2]int arrays: encoding/json silently
+	// discards excess elements when filling a fixed-size array, and a
+	// malformed pair must be a 400, not a quietly wrong answer.
+	var raw [][]int
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		code := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "body must be a JSON array of [u,v] pairs: "+err.Error())
+		return
+	}
+	pairs := make([]QueryPair, len(raw))
+	for i, p := range raw {
+		if len(p) != 2 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("pair %d has %d elements, want [u,v]", i, len(p)))
+			return
+		}
+		if p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("pair %d = [%d,%d] out of range [0,%d)", i, p[0], p[1], n))
+			return
+		}
+		pairs[i] = QueryPair{U: p[0], V: p[1]}
+	}
+	s.queries.Add(int64(len(pairs)))
+	dists := sn.eng.Batch(pairs)
+	for i, d := range dists {
+		if d == Infinity {
+			dists[i] = -1 // JSON has no +Inf
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dists": dists})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /stats")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST /reload")
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		// Optional JSON body {"path": "..."}; an empty body means
+		// "reload my current file". A malformed body is a 400, not a
+		// silent reload of the old file the operator didn't ask for.
+		var body struct {
+			Path string `json:"path"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		switch err := dec.Decode(&body); {
+		case err == nil:
+			path = body.Path
+		case errors.Is(err, io.EOF): // empty body
+		default:
+			httpError(w, http.StatusBadRequest, "body must be empty or a JSON object {\"path\":\"...\"}: "+err.Error())
+			return
+		}
+	}
+	sn, err := s.reload(path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Describe the snapshot this request installed; a racing reload may
+	// already have superseded it, but the response must be coherent.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": sn.gen,
+		"path":       sn.path,
+		"mapped":     sn.fx.Mapped(),
+		"vertices":   sn.fx.NumVertices(),
+		"labels":     sn.fx.TotalLabels(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.Acquire()
+	defer sn.Release()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": sn.gen})
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
