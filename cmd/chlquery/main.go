@@ -12,6 +12,14 @@
 //	chlquery -index road.chl -save road.flat # freeze once ...
 //	chlquery -load road.flat -serve :8080    # ... serve many times
 //
+// For indexes too large (or too hot) for one process, -split slices the
+// flat index into per-shard files plus a cluster manifest, and -shard
+// serves one slice; cmd/chlrouter fronts the shard servers (README.md
+// "Running a cluster"):
+//
+//	chlquery -load road.flat -split 3 -shards-dir ./cluster
+//	chlquery -serve :8081 -manifest ./cluster/cluster.json -shard 0
+//
 // Serving loads the flat file through chl.OpenFlat — memory-mapped and
 // zero-copy on platforms that support it — and hot-swaps index files
 // without dropping in-flight queries, via POST /reload or SIGHUP. The
@@ -33,11 +41,13 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	chl "repro"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -49,19 +59,31 @@ func main() {
 		bench     = flag.Int("bench", 0, "run a random batch of this many queries")
 		mode      = flag.String("mode", "qlsn", "query mode for -bench: qlsn|qfdl|qdol|local")
 		nodes     = flag.Int("nodes", 16, "simulated cluster size for -bench")
-		seed      = flag.Int64("seed", 1, "seed for -bench query generation")
+		seed      = flag.Int64("seed", 1, "seed for -bench query generation; also the consistent-hash ring seed for -split")
 		cacheCap  = flag.Int("cache", 1<<16, "answer cache capacity for -serve (0 disables)")
+		prefault  = flag.Bool("prefault", false, "fault mapped indexes fully in before serving them (and before each hot swap)")
+
+		splitK    = flag.Int("split", 0, "slice the index into this many shard files plus a cluster manifest")
+		shardsDir = flag.String("shards-dir", "cluster", "output directory for -split")
+		replicas  = flag.Int("replicas", 64, "virtual ring points per shard for -split")
+		shardID   = flag.Int("shard", -1, "serve as this shard of the cluster described by -manifest")
+		manifest  = flag.String("manifest", "", "cluster manifest (cluster.json) for -shard")
 	)
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap)
+		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap, *prefault, *shardID, *manifest)
 		return
 	}
 
 	fx, ix, err := loadIndex(*indexPath, *loadPath)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *splitK > 0 {
+		runSplit(fx, *splitK, *shardsDir, *replicas, uint64(*seed))
+		return
 	}
 	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB\n",
 		fx.NumVertices(), fx.TotalLabels(), float64(fx.TotalMemory())/(1<<20))
@@ -143,15 +165,40 @@ func answer(fx *chl.FlatIndex, u, v int) {
 	fmt.Printf("d(%d,%d) = %g (via hub %d)\n", u, v, d, hub)
 }
 
+// runSplit slices fx into k per-shard flat files plus the cluster
+// manifest cmd/chlrouter and -shard serving consume.
+func runSplit(fx *chl.FlatIndex, k int, dir string, replicas int, seed uint64) {
+	m, err := fx.SaveShards(dir, k, replicas, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d shards + %s to %s\n", k, shard.ManifestName, dir)
+	for i, f := range m.Files {
+		fmt.Printf("  shard %d: %s (%d vertices)\n", i, f, m.VertexCounts[i])
+	}
+	fmt.Printf("serve each with: chlquery -serve :PORT -manifest %s -shard I\n",
+		filepath.Join(dir, shard.ManifestName))
+}
+
 // runServe builds the hot-swappable serving tier and blocks on HTTP. The
 // -load path opens the flat file mmap-backed (chl.OpenFlat); -index
 // freezes in process; -index plus -save freezes, persists, then serves
-// the saved file so /reload and SIGHUP have a file to re-open.
-func runServe(addr, indexPath, loadPath, savePath string, cacheCap int) {
+// the saved file so /reload and SIGHUP have a file to re-open. With
+// -manifest and -shard the process serves one slice of a split cluster.
+func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault bool, shardID int, manifestPath string) {
 	var (
 		s   *chl.Server
 		err error
 	)
+	if manifestPath != "" || shardID >= 0 {
+		if indexPath != "" || loadPath != "" {
+			// The manifest names the shard's file; a conflicting -index
+			// or -load must not be silently discarded.
+			fatal(fmt.Errorf("shard serving takes its file from the manifest; drop -index/-load"))
+		}
+		runShardServe(addr, cacheCap, prefault, shardID, manifestPath)
+		return
+	}
 	switch {
 	case indexPath != "" && loadPath != "":
 		fatal(fmt.Errorf("pass either -index or -load, not both"))
@@ -194,11 +241,57 @@ func runServe(addr, indexPath, loadPath, savePath string, cacheCap int) {
 	if err != nil {
 		fatal(err)
 	}
+	if prefault {
+		s.SetPrefault(true)
+	}
 	st := s.Stats()
 	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v cache=%d\n",
 		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, cacheCap)
 	installReload(s)
-	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz)\n", addr)
+	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
+	log.Fatal(http.ListenAndServe(addr, s.Handler()))
+}
+
+// runShardServe serves one shard of a split cluster: the shard's slice
+// file (resolved from the manifest), the shard ownership checks, and the
+// /shardquery endpoint the router joins across. Hot reload (POST /reload,
+// SIGHUP) re-opens the shard's own file — e.g. after the splitter
+// re-published the cluster in place.
+func runShardServe(addr string, cacheCap int, prefault bool, shardID int, manifestPath string) {
+	if manifestPath == "" || shardID < 0 {
+		fatal(fmt.Errorf("shard serving needs both -manifest FILE and -shard ID"))
+	}
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := m.Partition()
+	if err != nil {
+		fatal(err)
+	}
+	file, err := chl.ShardFilePath(manifestPath, m, shardID)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := chl.NewServer(file, cacheCap)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.SetShard(shardID, p); err != nil {
+		fatal(err)
+	}
+	if prefault {
+		s.SetPrefault(true)
+	}
+	st := s.Stats()
+	if st.Vertices != m.Vertices {
+		fatal(fmt.Errorf("shard file %s covers %d vertices but the manifest says %d — mismatched cluster build?",
+			file, st.Vertices, m.Vertices))
+	}
+	fmt.Printf("shard %d/%d: file=%s n=%d labels=%d flat=%.2f MiB mapped=%v cache=%d\n",
+		shardID, m.Shards, file, st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, cacheCap)
+	installReload(s)
+	fmt.Printf("serving on %s (router-facing POST /shardquery; GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }
 

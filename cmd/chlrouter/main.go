@@ -1,0 +1,84 @@
+// Command chlrouter fronts a cluster of chlquery shard servers and serves
+// the same query API a single chlquery -serve process does, over an index
+// sliced across many machines.
+//
+// Split an index and start the cluster (see README.md "Running a
+// cluster" for the full walkthrough):
+//
+//	chlquery -load cal.flat -split 3 -shards-dir ./cluster
+//	chlquery -serve :8081 -manifest ./cluster/cluster.json -shard 0
+//	chlquery -serve :8082 -manifest ./cluster/cluster.json -shard 1
+//	chlquery -serve :8083 -manifest ./cluster/cluster.json -shard 2
+//	chlrouter -serve :8080 -manifest ./cluster/cluster.json \
+//	    -shards http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+// The router then answers:
+//
+//	GET  /dist?u=17&v=3942      → same schema as a single server, bit-identical answers
+//	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
+//	GET  /stats                 → per-shard request/error counters, router cache, generations
+//	GET  /healthz               → per-shard health; 503 (with detail) when any shard is down
+//	GET  /metrics               → Prometheus text format, per-endpoint latency histograms
+//	POST /reload?shard=1&path=… → proxy a hot swap to one shard
+//
+// Same-shard queries are forwarded whole; cross-shard queries fetch the
+// two label rows and hub-join at the router (QDOL-style point-to-point
+// routing — see ARCHITECTURE.md "Sharded serving").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	chl "repro"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		manifestPath = flag.String("manifest", "", "cluster manifest written by chlquery -split (cluster.json)")
+		shardAddrs   = flag.String("shards", "", "comma-separated shard base URLs, in shard-id order")
+		serveAddr    = flag.String("serve", ":8080", "address to serve the router API on")
+		cacheCap     = flag.Int("cache", 1<<16, "router answer cache capacity (0 disables)")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-shard request timeout")
+	)
+	flag.Parse()
+
+	if *manifestPath == "" || *shardAddrs == "" {
+		fatal(fmt.Errorf("pass -manifest FILE and -shards URL,URL,..."))
+	}
+	m, err := shard.ReadManifest(*manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	addrs := strings.Split(*shardAddrs, ",")
+	r, err := chl.NewRouter(chl.RouterConfig{
+		Manifest:  m,
+		Addrs:     addrs,
+		CacheSize: *cacheCap,
+		Timeout:   *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: n=%d shards=%d replicas=%d cache=%d\n", m.Vertices, m.Shards, m.Replicas, *cacheCap)
+	for i, h := range r.Health() {
+		state := "up"
+		if !h.OK {
+			state = "DOWN (" + h.Error + ")"
+		}
+		fmt.Printf("  shard %d @ %s: %s\n", i, addrs[i], state)
+	}
+	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=)\n", *serveAddr)
+	log.Fatal(http.ListenAndServe(*serveAddr, r.Handler()))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chlrouter:", err)
+	os.Exit(1)
+}

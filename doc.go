@@ -72,9 +72,37 @@
 //	http.ListenAndServe(":8080", s.Handler())       // /dist /batch /stats /reload /healthz
 //	s.Reload("road-v2.flat")                        // hot swap, no downtime
 //
-// cmd/chlquery wraps this flow (-save / -load / -serve / -cache) and
-// additionally reloads on SIGHUP; README.md documents the HTTP API's
-// request and response schemas.
+// cmd/chlquery wraps this flow (-save / -load / -serve / -cache /
+// -prefault) and additionally reloads on SIGHUP; README.md documents the
+// HTTP API's request and response schemas. Both the server and the
+// router below export Prometheus text-format metrics (per-endpoint
+// latency histograms, cache and index gauges) at GET /metrics.
+//
+// # Sharded serving
+//
+// An index too large or too hot for one process is sliced across a
+// cluster: SaveShards partitions the vertex set with a consistent-hash
+// ring (internal/shard) and writes one ordinary flat index file per
+// shard — each holding only its owned vertices' label runs — plus a
+// cluster.json manifest. Every shard file is served by the ordinary
+// Server (SetShard adds the ownership checks and the internal
+// /shardquery row-fetch endpoint), and a Router in front answers the
+// same API as a single server, with bit-identical answers:
+//
+//	m, _ := fx.SaveShards("cluster", 3, 64, 1)       // 3 shard files + cluster.json
+//	// per shard process: chlquery -serve :808N -manifest cluster/cluster.json -shard N
+//	r, _ := chl.NewRouter(chl.RouterConfig{Manifest: m, Addrs: addrs, CacheSize: 1 << 16})
+//	http.ListenAndServe(":8080", r.Handler())
+//
+// Routing is QDOL-style (§6): a query whose endpoints share a shard is
+// forwarded whole and answered there; a cross-shard query fetches the
+// two packed label rows and hub-joins them at the router with the same
+// kernels BatchEngine serves with. Each shard keeps its own snapshot
+// hot-swap and answer cache; the router watches shard generations and
+// retires its cluster-level cache whenever a shard reloads, and degrades
+// per shard — failures 502 with a body naming exactly the shards that
+// failed. cmd/chlrouter is the standalone router; ARCHITECTURE.md
+// ("Sharded serving") has the topology, file layout, and protocol.
 //
 // # Distributed execution
 //

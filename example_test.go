@@ -3,6 +3,7 @@ package chl_test
 import (
 	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 
@@ -164,6 +165,53 @@ func ExampleServer() {
 	// Output:
 	// generation: 2
 	// new weights served: true
+}
+
+// The sharded serving tier: SaveShards slices a flat index into
+// per-shard files plus a cluster manifest, each shard serves its slice
+// through an ordinary Server, and a Router fans queries out —
+// whole-query forwarding when one shard owns both endpoints, a hub join
+// over two fetched label rows when two do. Answers are bit-identical to
+// the single-process index.
+func ExampleRouter() {
+	g := chl.GenerateRoadGrid(8, 8, 1)
+	ix, _ := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: 1})
+	fx, _ := ix.Freeze()
+
+	dir, _ := os.MkdirTemp("", "chl-cluster")
+	defer os.RemoveAll(dir)
+	m, err := fx.SaveShards(dir, 3, 64, 1) // 3 shards, 64 ring points each
+	if err != nil {
+		panic(err)
+	}
+	part, _ := m.Partition()
+
+	addrs := make([]string, m.Shards)
+	for i := range addrs { // one serving process per shard, here in-process
+		path, _ := chl.ShardFilePath(filepath.Join(dir, "cluster.json"), m, i)
+		s, err := chl.NewServer(path, 1024)
+		if err != nil {
+			panic(err)
+		}
+		defer s.Close()
+		if err := s.SetShard(i, part); err != nil {
+			panic(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		addrs[i] = ts.URL
+	}
+
+	r, err := chl.NewRouter(chl.RouterConfig{Manifest: m, Addrs: addrs, CacheSize: 1024})
+	if err != nil {
+		panic(err)
+	}
+	d, _ := r.Query(0, 63)
+	fmt.Printf("d(0,63) = %g\n", d)
+	fmt.Println("matches single process:", d == fx.Query(0, 63))
+	// Output:
+	// d(0,63) = 38
+	// matches single process: true
 }
 
 // Query engines deploy a built index across simulated nodes under the

@@ -25,6 +25,11 @@ import "math"
 type FlatIndex struct {
 	offsets []uint32 // len n+1; labels of v are entries [offsets[v], offsets[v+1])
 	entries []uint64 // hub<<32 | float32bits(dist), ascending per vertex
+
+	// raw is the byte region the arrays alias when the index was
+	// constructed by MapFlat (usually a memory mapping); nil for
+	// heap-backed indexes. Prefault walks it to fault pages in eagerly.
+	raw []byte
 }
 
 func packEntry(hub uint32, dist float64) uint64 {

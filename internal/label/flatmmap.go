@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"unsafe"
 )
 
@@ -34,6 +35,10 @@ import (
 // fallback.
 var ErrNotMappable = errors.New("label: flat payload cannot be memory-mapped")
 
+// flatHeaderBytes is the CHLF header size: magic (4) + version (1) +
+// n (4) + total (8). The arrays follow immediately.
+const flatHeaderBytes = 17
+
 // nativeLittleEndian reports whether the host stores integers little
 // endian, the byte order the CHLF arrays are written in.
 func nativeLittleEndian() bool {
@@ -51,7 +56,7 @@ func MapFlat(data []byte) (*FlatIndex, error) {
 	if !nativeLittleEndian() {
 		return nil, fmt.Errorf("%w: host is big endian", ErrNotMappable)
 	}
-	if len(data) < 17 {
+	if len(data) < flatHeaderBytes {
 		return nil, fmt.Errorf("label: flat payload too short (%d bytes)", len(data))
 	}
 	if [4]byte(data[:4]) != flatMagic {
@@ -66,11 +71,11 @@ func MapFlat(data []byte) (*FlatIndex, error) {
 		return nil, fmt.Errorf("label: implausible label count %d", total)
 	}
 	offBytes := int64(n+1) * 4
-	need := 17 + offBytes + int64(total)*8
+	need := flatHeaderBytes + offBytes + int64(total)*8
 	if int64(len(data)) < need {
 		return nil, fmt.Errorf("label: flat payload truncated: %d bytes, need %d", len(data), need)
 	}
-	offB := data[17 : 17+offBytes]
+	offB := data[flatHeaderBytes : flatHeaderBytes+offBytes]
 	if uintptr(unsafe.Pointer(&offB[0]))%4 != 0 {
 		return nil, fmt.Errorf("%w: offsets array misaligned (file written by an old CHFX version?)", ErrNotMappable)
 	}
@@ -78,7 +83,7 @@ func MapFlat(data []byte) (*FlatIndex, error) {
 		offsets: unsafe.Slice((*uint32)(unsafe.Pointer(&offB[0])), n+1),
 	}
 	if total > 0 {
-		entB := data[17+offBytes : need]
+		entB := data[flatHeaderBytes+offBytes : need]
 		if uintptr(unsafe.Pointer(&entB[0]))%8 != 0 {
 			return nil, fmt.Errorf("%w: entries array misaligned (file written by an old CHFX version?)", ErrNotMappable)
 		}
@@ -87,7 +92,35 @@ func MapFlat(data []byte) (*FlatIndex, error) {
 	if err := f.validate(); err != nil {
 		return nil, err
 	}
+	f.raw = data[:need]
 	return f, nil
+}
+
+// Prefault touches one byte per page of the mapped payload, forcing the
+// kernel to fault the whole index in before the first query lands on it —
+// the serving tier calls this before swapping a fresh snapshot in so the
+// first seconds of traffic don't pay major-fault latency. It returns the
+// number of pages walked; on a heap-backed index it is a no-op returning 0.
+func (f *FlatIndex) Prefault() int {
+	if len(f.raw) == 0 {
+		return 0
+	}
+	// The entries region carries MADV_RANDOM (readahead off), which
+	// would turn the sequential walk below into one synchronous
+	// single-page fault per page. Ask for the whole payload eagerly
+	// first — the kernel then reads ahead of the walk — and restore the
+	// random-access hint once everything is resident.
+	madviseAligned(f.raw, adviceWillNeed)
+	defer madviseAligned(f.raw, adviceRandom)
+	page := os.Getpagesize()
+	var sink byte
+	pages := 0
+	for i := 0; i < len(f.raw); i += page {
+		sink += f.raw[i]
+		pages++
+	}
+	runtime.KeepAlive(sink)
+	return pages
 }
 
 // MapFlatAt memory-maps the file at path and serves the CHLF payload
@@ -133,5 +166,23 @@ func MapFlatFile(f *os.File, off int64) (*FlatIndex, func() error, error) {
 		munmapBytes(data)
 		return nil, nil, err
 	}
+	adviseFlat(data, off, fx)
 	return fx, func() error { return munmapBytes(data) }, nil
+}
+
+// adviseFlat hands the kernel access-pattern hints for a freshly mapped
+// CHLF payload at byte offset off of the mapping: the offsets array is
+// touched by every query and read near-sequentially during validation, so
+// it gets MADV_WILLNEED (prefetch now, keep resident); the entries array
+// is probed at two random vertices per query, so it gets MADV_RANDOM
+// (don't waste readahead on neighbours that won't be asked for). The
+// spans come from the index MapFlat just built over this payload, not
+// from re-parsing the header. Both are hints — madviseSpan is a no-op
+// off Linux (see madvise_other.go) and errors are ignored, so serving is
+// identical everywhere, just slower to warm where the hints don't apply.
+func adviseFlat(data []byte, off int64, fx *FlatIndex) {
+	offStart := off + flatHeaderBytes
+	offLen := int64(len(fx.offsets)) * 4
+	madviseSpan(data, offStart, offLen, adviceWillNeed)
+	madviseSpan(data, offStart+offLen, int64(len(fx.entries))*8, adviceRandom)
 }

@@ -1,0 +1,112 @@
+package label
+
+import "math"
+
+// Router-side join kernels: a sharded serving tier answers a cross-shard
+// query by fetching the two packed label runs from their owning shards and
+// hub-joining them locally. The runs are byte-identical slices of each
+// shard's entries array (FlatIndex.PackedRun), so these kernels are the
+// same merge- and hash-joins the single-process query paths run — same
+// float32→float64 summation, same smallest-rank-hub tie-break — which is
+// what makes a routed answer bit-identical to a single-process one.
+
+// PackedRun returns the packed entry run of v, aliasing the index's entry
+// array (zero-copy on a memory-mapped index). The run is sorted ascending
+// by hub id; callers must not modify it.
+func (f *FlatIndex) PackedRun(v int) []uint64 {
+	lo, hi := f.offsets[v], f.offsets[v+1]
+	return f.entries[lo:hi:hi]
+}
+
+// JoinPacked merge-joins two packed label runs, returning the best
+// distance, its witness hub (rank space), and reachability. It is
+// FlatIndex.QueryHub over runs that need not live in the same index —
+// the cross-shard case — and matches it exactly, including the
+// smallest-hub (highest-rank) tie-break among equal-distance witnesses.
+func JoinPacked(a, b []uint64) (dist float64, hub uint32, ok bool) {
+	dist = Infinity
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ei, ej := a[i], b[j]
+		hi, hj := ei>>32, ej>>32
+		if hi == hj {
+			if d := entryDist(ei) + entryDist(ej); d < dist {
+				dist, hub, ok = d, uint32(hi), true
+			}
+			i++
+			j++
+		} else if hi < hj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return dist, hub, ok
+}
+
+// JoinPackedWith is JoinPacked through the hash-join serving kernel: the
+// shorter run is scattered into the scratch, the longer one probes it —
+// the same branch-predictable loop QueryHubWith runs, worth ~2× when the
+// scratch stays cache-resident. The scratch must be sized for the index
+// the runs came from (every hub id must be a valid slot); one scratch is
+// owned by one goroutine.
+func JoinPackedWith(s *QueryScratch, a, b []uint64) (dist float64, hub uint32, ok bool) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	dist = Infinity
+	if len(a) == 0 || len(b) == 0 {
+		return dist, 0, false
+	}
+	// Truncate both runs past the other side's maximum hub, as in
+	// QueryWith: entries beyond it can never match.
+	aMax, bMax := a[len(a)-1]|0xffffffff, b[len(b)-1]|0xffffffff
+	for len(a) > 0 && a[len(a)-1] > bMax {
+		a = a[:len(a)-1]
+	}
+	s.bump()
+	cur := uint64(s.current) << 32
+	slot := s.slot
+	for _, e := range a {
+		slot[e>>32] = cur | e&0xffffffff
+	}
+	for _, e := range b {
+		if e > aMax {
+			break
+		}
+		w := slot[e>>32]
+		if w&^uint64(0xffffffff) == cur {
+			if d := float64(math.Float32frombits(uint32(w))) + entryDist(e); d < dist {
+				dist, hub, ok = d, uint32(e>>32), true
+			}
+		}
+	}
+	return dist, hub, ok
+}
+
+// Slice returns a new heap-backed FlatIndex over the same vertex-id space
+// that keeps only the label runs of vertices for which keep returns true;
+// every other vertex gets an empty run. This is how a shard-index writer
+// carves one shard's share out of a full index: the sliced index remains a
+// structurally valid FlatIndex (hub ids still reference the full vertex
+// space), so the existing savers, loaders, and serving stack work on it
+// unchanged.
+func (f *FlatIndex) Slice(keep func(v int) bool) *FlatIndex {
+	n := f.NumVertices()
+	out := &FlatIndex{offsets: make([]uint32, n+1)}
+	var total int
+	for v := 0; v < n; v++ {
+		if keep(v) {
+			total += f.LabelCount(v)
+		}
+	}
+	out.entries = make([]uint64, 0, total)
+	for v := 0; v < n; v++ {
+		out.offsets[v] = uint32(len(out.entries))
+		if keep(v) {
+			out.entries = append(out.entries, f.PackedRun(v)...)
+		}
+	}
+	out.offsets[n] = uint32(len(out.entries))
+	return out
+}

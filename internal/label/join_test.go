@@ -1,0 +1,96 @@
+package label
+
+import "testing"
+
+// The flat-index fixtures come from randomFlat in flatmmap_test.go.
+
+// The router-side join kernels must agree with the in-index query paths
+// on every pair: JoinPacked with QueryHub (merge join), JoinPackedWith
+// with both (hash join), including witness-hub tie-breaks.
+func TestJoinKernelsMatchQueryPaths(t *testing.T) {
+	const n = 120
+	f := randomFlat(t, n, 3)
+	s := NewQueryScratch(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			wantD, wantH, wantOK := f.QueryHub(u, v)
+			a, b := f.PackedRun(u), f.PackedRun(v)
+			if d, h, ok := JoinPacked(a, b); ok != wantOK || (ok && (d != wantD || h != wantH)) {
+				t.Fatalf("JoinPacked(%d,%d) = (%v,%d,%v), want (%v,%d,%v)", u, v, d, h, ok, wantD, wantH, wantOK)
+			}
+			if d, h, ok := JoinPackedWith(s, a, b); ok != wantOK || (ok && (d != wantD || h != wantH)) {
+				t.Fatalf("JoinPackedWith(%d,%d) = (%v,%d,%v), want (%v,%d,%v)", u, v, d, h, ok, wantD, wantH, wantOK)
+			}
+		}
+	}
+}
+
+// Cross-index joins — the actual sharded case — must agree with a query
+// over the union index, which is what a shard slice plus a foreign row
+// reconstitutes.
+func TestJoinPackedAcrossSlices(t *testing.T) {
+	const n = 150
+	f := randomFlat(t, n, 7)
+	even := f.Slice(func(v int) bool { return v%2 == 0 })
+	odd := f.Slice(func(v int) bool { return v%2 == 1 })
+	for u := 0; u < n; u += 3 {
+		for v := 1; v < n; v += 3 {
+			var a, b []uint64
+			if u%2 == 0 {
+				a = even.PackedRun(u)
+			} else {
+				a = odd.PackedRun(u)
+			}
+			if v%2 == 0 {
+				b = even.PackedRun(v)
+			} else {
+				b = odd.PackedRun(v)
+			}
+			wantD, wantH, wantOK := f.QueryHub(u, v)
+			if d, h, ok := JoinPacked(a, b); ok != wantOK || (ok && (d != wantD || h != wantH)) {
+				t.Fatalf("sliced join (%d,%d) = (%v,%d,%v), want (%v,%d,%v)", u, v, d, h, ok, wantD, wantH, wantOK)
+			}
+		}
+	}
+}
+
+func TestSliceKeepsOnlyOwnedRuns(t *testing.T) {
+	const n = 80
+	f := randomFlat(t, n, 11)
+	sl := f.Slice(func(v int) bool { return v%3 == 0 })
+	if err := sl.validate(); err != nil {
+		t.Fatalf("slice not structurally valid: %v", err)
+	}
+	if sl.NumVertices() != n {
+		t.Fatalf("slice covers %d vertices, want %d", sl.NumVertices(), n)
+	}
+	var kept int64
+	for v := 0; v < n; v++ {
+		run, orig := sl.PackedRun(v), f.PackedRun(v)
+		if v%3 == 0 {
+			if len(run) != len(orig) {
+				t.Fatalf("kept vertex %d has %d entries, want %d", v, len(run), len(orig))
+			}
+			for i := range run {
+				if run[i] != orig[i] {
+					t.Fatalf("kept vertex %d entry %d differs", v, i)
+				}
+			}
+			kept += int64(len(run))
+		} else if len(run) != 0 {
+			t.Fatalf("dropped vertex %d still has %d entries", v, len(run))
+		}
+	}
+	if sl.NumLabels() != kept {
+		t.Fatalf("slice has %d labels, want %d", sl.NumLabels(), kept)
+	}
+}
+
+// Prefault is a no-op on heap indexes and walks every page of mapped
+// payloads (exercised further by the chl-level mmap tests).
+func TestPrefaultHeapNoop(t *testing.T) {
+	f := randomFlat(t, 50, 1)
+	if pages := f.Prefault(); pages != 0 {
+		t.Fatalf("heap index prefaulted %d pages", pages)
+	}
+}

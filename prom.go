@@ -1,0 +1,158 @@
+package chl
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Prometheus-format observability for the serving tier. The exposition is
+// hand-rolled (the repository takes no dependencies): a fixed-bucket
+// latency histogram per endpoint plus request/error counters, written in
+// the text format any Prometheus scraper ingests. Server.Handler and
+// Router.Handler mount it at GET /metrics alongside the JSON /stats —
+// /stats is for humans and tests, /metrics for dashboards and alerting.
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// latencyBuckets are the histogram upper bounds in seconds: 100µs to 10s,
+// roughly ×2.5 per step — wide enough to separate a cache hit from a
+// cross-shard fan-out from a stuck shard.
+var latencyBuckets = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// latencyHist is a lock-free fixed-bucket histogram of request durations.
+type latencyHist struct {
+	buckets  [len(latencyBuckets)]atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// observe records one duration.
+func (h *latencyHist) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// endpointMetrics is the per-endpoint instrumentation record.
+type endpointMetrics struct {
+	name     string
+	hist     latencyHist
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+}
+
+// httpMetrics instruments a fixed set of endpoints, declared up front so
+// the hot path is an index into an array, not a map under a lock.
+type httpMetrics struct {
+	endpoints []*endpointMetrics
+}
+
+func newHTTPMetrics(names ...string) *httpMetrics {
+	m := &httpMetrics{}
+	for _, n := range names {
+		m.endpoints = append(m.endpoints, &endpointMetrics{name: n})
+	}
+	sort.Slice(m.endpoints, func(i, j int) bool { return m.endpoints[i].name < m.endpoints[j].name })
+	return m
+}
+
+func (m *httpMetrics) endpoint(name string) *endpointMetrics {
+	for _, e := range m.endpoints {
+		if e.name == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// wrap instruments a handler: duration into the endpoint's histogram,
+// request and error counters alongside.
+func (m *httpMetrics) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
+	e := m.endpoint(name)
+	if e == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		e.hist.observe(time.Since(start))
+		e.requests.Add(1)
+		if rec.status >= 400 {
+			e.errors.Add(1)
+		}
+	}
+}
+
+// writeTo emits the per-endpoint histograms and counters in Prometheus
+// text format. prefix namespaces the metric family (e.g. "chl" or
+// "chl_router") so a shard server and a router scraped by the same
+// Prometheus stay distinguishable.
+func (m *httpMetrics) writeTo(w io.Writer, prefix string) {
+	fmt.Fprintf(w, "# HELP %s_http_request_duration_seconds HTTP request latency by endpoint.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_http_request_duration_seconds histogram\n", prefix)
+	for _, e := range m.endpoints {
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += e.hist.buckets[i].Load()
+			fmt.Fprintf(w, "%s_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				prefix, e.name, formatBucket(ub), cum)
+		}
+		count := e.hist.count.Load()
+		fmt.Fprintf(w, "%s_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", prefix, e.name, count)
+		fmt.Fprintf(w, "%s_http_request_duration_seconds_sum{endpoint=%q} %g\n",
+			prefix, e.name, float64(e.hist.sumNanos.Load())/float64(time.Second))
+		fmt.Fprintf(w, "%s_http_request_duration_seconds_count{endpoint=%q} %d\n", prefix, e.name, count)
+	}
+	fmt.Fprintf(w, "# HELP %s_http_requests_total HTTP requests served, by endpoint.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_http_requests_total counter\n", prefix)
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "%s_http_requests_total{endpoint=%q} %d\n", prefix, e.name, e.requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP %s_http_request_errors_total HTTP responses with status >= 400, by endpoint.\n", prefix)
+	fmt.Fprintf(w, "# TYPE %s_http_request_errors_total counter\n", prefix)
+	for _, e := range m.endpoints {
+		fmt.Fprintf(w, "%s_http_request_errors_total{endpoint=%q} %d\n", prefix, e.name, e.errors.Load())
+	}
+}
+
+// formatBucket renders a bucket bound the way Prometheus conventionally
+// prints it (no scientific notation for these magnitudes).
+func formatBucket(ub float64) string {
+	return fmt.Sprintf("%g", ub)
+}
+
+// promGauge writes one unlabelled gauge with HELP/TYPE preamble.
+func promGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// promCounter writes one unlabelled counter with HELP/TYPE preamble.
+func promCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}

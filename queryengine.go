@@ -40,6 +40,12 @@ type FlatIndex struct {
 // file (LoadFlatMapped / OpenFlat) rather than from heap arrays.
 func (fx *FlatIndex) Mapped() bool { return fx.mapped }
 
+// Prefault touches every page of a mapped index's label arrays so the
+// kernel faults the file in before the first query, returning the number
+// of pages walked (0 for heap-backed indexes, which are always resident).
+// Server.SetPrefault runs this on reloads before the hot swap.
+func (fx *FlatIndex) Prefault() int { return fx.flat.Prefault() }
+
 // Close releases the file mapping of a mapped index; the index must not
 // be queried afterwards. On heap-backed indexes Close is a no-op. It is
 // idempotent but not concurrency-safe against in-flight queries — the

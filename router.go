@@ -1,0 +1,1088 @@
+package chl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/label"
+	"repro/internal/shard"
+)
+
+// Router fronts a cluster of shard servers and answers the same query API
+// a single-process Server does, over an index too large for one process.
+// Routing is QDOL-style (internal/query, §6 of the paper): every query is
+// sent point-to-point to the shards owning its endpoints, never broadcast.
+//
+//   - Both endpoints on one shard: the router forwards the query whole;
+//     the shard answers it alone from its local label runs (and its own
+//     per-snapshot answer cache), exactly QDOL's owner-node case.
+//   - Endpoints on two shards: where QDOL would have pre-replicated the
+//     partition pair onto a common node, the router instead fetches the
+//     two packed label rows (POST /shardquery) and hub-joins them locally
+//     with the same scratch kernels BatchEngine serves with — one join,
+//     two small messages, Θ(1/N) memory per shard instead of QDOL's
+//     Θ(1/√q).
+//
+// Answers are bit-identical to a single-process FlatIndex over the
+// unsharded file: the fetched rows are byte-identical slices of the
+// shards' entry arrays and the join kernels are shared (label.JoinPacked
+// / JoinPackedWith).
+//
+// The router keeps its own sharded LRU answer cache (the PR-2 Cache).
+// Every shard response carries the shard's snapshot identity — its
+// generation plus a per-process epoch, so restarts are as visible as
+// reloads; when any shard's identity advances, the router retires the
+// whole cache — the same "a cache never outlives its index" rule the
+// single-process tier enforces per Snapshot, lifted to the cluster.
+//
+// Failures degrade per shard: a query touching only healthy shards is
+// unaffected, and one touching a failed shard gets a 502 whose JSON body
+// names each failed shard (see ClusterError). Use Health for the
+// per-shard view the /healthz endpoint serves.
+type Router struct {
+	n      int
+	part   *shard.Partition
+	shards []*shardClient
+	client *http.Client
+
+	cacheSize int
+	state     atomic.Pointer[routerState]
+
+	metrics     *httpMetrics
+	queries     atomic.Int64
+	crossJoins  atomic.Int64
+	cacheResets atomic.Int64
+	start       time.Time
+
+	scratch sync.Pool // *label.QueryScratch sized n, for cross-shard joins
+}
+
+// routerState pairs the answer cache with the per-shard snapshot
+// identities it was built against. Identity is the (epoch, generation)
+// pair each shard stamps its responses with: generations restart at 1
+// in every process, so the random per-process epoch makes a shard
+// restart (possibly over different content) as visible as a reload.
+// Identities are totally ordered — generations within one process, and
+// epochs across processes (a shard's epoch leads with its start time in
+// milliseconds; see Server) — which lets noteGenerations ignore any
+// stale observation from a request that raced a reload or restart
+// instead of mistaking it for another change. (0,0) means "not yet
+// observed". The state is swapped atomically whenever a shard's
+// identity advances, so answers computed against a retired snapshot
+// can never enter the live cache.
+type routerState struct {
+	epochs []uint64
+	gens   []uint64
+	cache  *Cache
+}
+
+// genObs is one observed shard snapshot identity.
+type genObs struct {
+	epoch, gen uint64
+}
+
+// errNotShardBackend rejects a 200 response without a snapshot identity:
+// the backend is a plain server, not a shard (started without
+// -manifest/-shard). Its answers may be right today, but its reloads
+// would be invisible to the router's cache retirement — loud refusal
+// beats silent staleness.
+var errNotShardBackend = errors.New("backend did not stamp a snapshot identity — is it a shard server (started with -manifest and -shard)?")
+
+// shardClient tracks one shard server.
+type shardClient struct {
+	id       int
+	addr     string // base URL, no trailing slash
+	requests atomic.Int64
+	errors   atomic.Int64
+	lastGen  atomic.Uint64 // last generation the shard reported, for /stats
+	mu       sync.Mutex
+	lastErr  string
+
+	// Clock-step self-heal (see noteGenerations): an epoch older than
+	// the adopted one is normally a delayed response from a dead
+	// process, but a host clock stepped backwards across a restart makes
+	// the *live* process look old. staleSeen counts consecutive
+	// responses bearing the same older epoch; past a small threshold it
+	// must be the live process and is adopted.
+	staleEpoch atomic.Uint64
+	staleSeen  atomic.Int64
+}
+
+// staleAdoptThreshold is how many consecutive responses under the same
+// older epoch convince the router it is the live process (a backwards
+// clock step at restart) rather than stragglers from a dead one.
+const staleAdoptThreshold = 3
+
+func (c *shardClient) fail(err error) *ShardError {
+	c.errors.Add(1)
+	c.mu.Lock()
+	c.lastErr = err.Error()
+	c.mu.Unlock()
+	return &ShardError{Shard: c.id, Addr: c.addr, Err: err}
+}
+
+// ShardError reports a failed request to one shard.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ClusterError aggregates the shard failures of one routed request — the
+// partial-failure error body: shards not listed answered fine, but the
+// request needed the listed ones.
+type ClusterError struct {
+	Failed []*ShardError
+}
+
+func (e *ClusterError) Error() string {
+	parts := make([]string, len(e.Failed))
+	for i, f := range e.Failed {
+		parts[i] = f.Error()
+	}
+	return "cluster degraded: " + strings.Join(parts, "; ")
+}
+
+// VertexRangeError reports a query for an id outside the cluster's vertex
+// space; the HTTP layer turns it into a 400.
+type VertexRangeError struct {
+	ID, N int
+}
+
+func (e *VertexRangeError) Error() string {
+	return fmt.Sprintf("vertex id %d out of range [0,%d)", e.ID, e.N)
+}
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Manifest describes the cluster (vertex count and ring); usually
+	// shard.ReadManifest of the splitter's cluster.json.
+	Manifest *shard.Manifest
+	// Addrs are the shard servers' base URLs, indexed by shard id.
+	Addrs []string
+	// CacheSize bounds the router's answer cache; <= 0 disables it.
+	CacheSize int
+	// Timeout bounds each shard request (default 5s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests, custom transports);
+	// Timeout is ignored when set.
+	Client *http.Client
+}
+
+// NewRouter validates the cluster description and returns a router.
+// Shards are not contacted — a router starts (and serves what it can)
+// even while part of the cluster is down.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Manifest == nil {
+		return nil, fmt.Errorf("chl: router needs a manifest")
+	}
+	if err := cfg.Manifest.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Addrs) != cfg.Manifest.Shards {
+		return nil, fmt.Errorf("chl: manifest has %d shards but %d addresses given", cfg.Manifest.Shards, len(cfg.Addrs))
+	}
+	part, err := cfg.Manifest.Partition()
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	r := &Router{
+		n:         cfg.Manifest.Vertices,
+		part:      part,
+		client:    client,
+		cacheSize: cfg.CacheSize,
+		metrics:   newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
+		start:     time.Now(),
+	}
+	for i, a := range cfg.Addrs {
+		r.shards = append(r.shards, &shardClient{id: i, addr: strings.TrimRight(a, "/")})
+	}
+	r.state.Store(&routerState{
+		epochs: make([]uint64, len(r.shards)),
+		gens:   make([]uint64, len(r.shards)),
+		cache:  NewCache(cfg.CacheSize),
+	})
+	r.scratch.New = func() any { return label.NewQueryScratch(r.n) }
+	return r, nil
+}
+
+// NumVertices returns the vertex-id space the cluster serves.
+func (r *Router) NumVertices() int { return r.n }
+
+// hubUnknown marks a cached answer whose witness hub was never computed
+// (batch paths only need distances). QueryHub treats such hits as misses.
+const hubUnknown = -1
+
+// Query answers one point-to-point query through the cluster. Unlike
+// QueryHub it never pays the witness-resolution round trip.
+func (r *Router) Query(u, v int) (float64, error) {
+	d, _, _, err := r.queryHub(u, v, false)
+	return d, err
+}
+
+// QueryHub answers one query with its witness hub (an original vertex
+// id), exactly as Server.QueryHub does on the unsharded index.
+func (r *Router) QueryHub(u, v int) (dist float64, hub int, ok bool, err error) {
+	return r.queryHub(u, v, true)
+}
+
+// queryHub is the shared single-query path. needHub=false (Query) skips
+// the witness-rank resolution round trip on cross-shard misses — the
+// hub would be discarded anyway, and Batch already caches hub-less
+// answers the same way.
+func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok bool, err error) {
+	if u < 0 || u >= r.n {
+		return 0, 0, false, &VertexRangeError{ID: u, N: r.n}
+	}
+	if v < 0 || v >= r.n {
+		return 0, 0, false, &VertexRangeError{ID: v, N: r.n}
+	}
+	st := r.state.Load()
+	if st.cache != nil {
+		if a, hit := st.cache.Get(u, v); hit && (!needHub || a.Hub != hubUnknown || !a.Reachable) {
+			r.queries.Add(1)
+			return a.Dist, a.Hub, a.Reachable, nil
+		}
+	}
+	r.queries.Add(1)
+	su, sv := r.part.Owner(u), r.part.Owner(v)
+	obs := map[int]genObs{}
+	if su == sv {
+		dist, hub, ok, err = r.fetchDist(su, u, v, obs)
+	} else {
+		dist, hub, ok, err = r.crossQueryHub(su, sv, u, v, obs, needHub)
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	r.cachePut(st, obs, u, v, Answer{Dist: dist, Hub: hub, Reachable: ok})
+	return dist, hub, ok, nil
+}
+
+// Batch answers a batch of queries through the cluster, returning the
+// distances in order (Infinity for unreachable pairs). Same-shard pairs
+// are forwarded whole, one sub-batch per shard; cross-shard pairs are
+// answered by fetching each involved vertex's label row once per shard
+// and hub-joining at the router. All shard traffic for a batch runs
+// concurrently.
+func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
+	dists := make([]float64, len(pairs))
+	st := r.state.Load()
+
+	// Cache pass; pending collects the misses.
+	pending := make([]int, 0, len(pairs))
+	for i, p := range pairs {
+		if p.U < 0 || p.U >= r.n {
+			return nil, &VertexRangeError{ID: p.U, N: r.n}
+		}
+		if p.V < 0 || p.V >= r.n {
+			return nil, &VertexRangeError{ID: p.V, N: r.n}
+		}
+		if st.cache != nil {
+			if a, hit := st.cache.Get(p.U, p.V); hit {
+				dists[i] = a.Dist
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	r.queries.Add(int64(len(pairs)))
+	if len(pending) == 0 {
+		return dists, nil
+	}
+
+	// Group the misses: same-shard sub-batches and cross-shard row needs.
+	direct := map[int][]int{} // shard id -> indexes into pairs
+	cross := make([]int, 0)
+	needed := map[int]map[int]struct{}{} // shard id -> vertex set
+	for _, i := range pending {
+		p := pairs[i]
+		su, sv := r.part.Owner(p.U), r.part.Owner(p.V)
+		if su == sv {
+			direct[su] = append(direct[su], i)
+			continue
+		}
+		cross = append(cross, i)
+		for _, need := range []struct{ s, v int }{{su, p.U}, {sv, p.V}} {
+			if needed[need.s] == nil {
+				needed[need.s] = map[int]struct{}{}
+			}
+			needed[need.s][need.v] = struct{}{}
+		}
+	}
+
+	// Fan out: one /batch per direct shard, one /shardquery per row shard.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		fails    []*ShardError
+		rows     = map[int][]uint64{} // vertex -> decoded packed run
+		obs      = map[int]genObs{}   // shard -> observed snapshot identity
+		conflict bool                 // one shard answered under two identities
+	)
+	observe := func(sid int, o genObs, err *ShardError) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			fails = append(fails, err)
+			return
+		}
+		// A batch may hit the same shard twice (direct sub-batch + row
+		// fetch). If a reload lands between the two responses, part of
+		// this batch was computed on the retired snapshot, and no single
+		// identity can vouch for all of its answers — skip caching.
+		if prev, seen := obs[sid]; seen && prev != o {
+			conflict = true
+		}
+		obs[sid] = o
+	}
+	for sid, idxs := range direct {
+		wg.Add(1)
+		go func(sid int, idxs []int) {
+			defer wg.Done()
+			sub := make([]QueryPair, len(idxs))
+			for k, i := range idxs {
+				sub[k] = pairs[i]
+			}
+			ds, o, err := r.fetchBatch(sid, sub)
+			if err != nil {
+				observe(sid, genObs{}, err)
+				return
+			}
+			for k, i := range idxs {
+				dists[i] = ds[k]
+			}
+			observe(sid, o, nil)
+		}(sid, idxs)
+	}
+	for sid, verts := range needed {
+		wg.Add(1)
+		go func(sid int, verts map[int]struct{}) {
+			defer wg.Done()
+			vs := make([]int, 0, len(verts))
+			for v := range verts {
+				vs = append(vs, v)
+			}
+			sort.Ints(vs)
+			got, o, err := r.fetchRows(sid, vs)
+			if err != nil {
+				observe(sid, genObs{}, err)
+				return
+			}
+			mu.Lock()
+			for v, run := range got {
+				rows[v] = run
+			}
+			mu.Unlock()
+			observe(sid, o, nil)
+		}(sid, verts)
+	}
+	wg.Wait()
+	if len(fails) > 0 {
+		sort.Slice(fails, func(i, j int) bool { return fails[i].Shard < fails[j].Shard })
+		return nil, &ClusterError{Failed: fails}
+	}
+
+	// Hub-join the cross-shard pairs locally, with the same scratch
+	// kernel and size policy the single-process BatchEngine serves with.
+	useScratch := r.n <= hashServeMaxVertices
+	var s *label.QueryScratch
+	if useScratch && len(cross) > 0 {
+		s = r.scratch.Get().(*label.QueryScratch)
+		defer r.scratch.Put(s)
+	}
+	for _, i := range cross {
+		p := pairs[i]
+		var (
+			d  float64
+			ok bool
+		)
+		if useScratch {
+			d, _, ok = label.JoinPackedWith(s, rows[p.U], rows[p.V])
+		} else {
+			d, _, ok = label.JoinPacked(rows[p.U], rows[p.V])
+		}
+		if !ok {
+			d = Infinity
+		}
+		dists[i] = d
+	}
+	r.crossJoins.Add(int64(len(cross)))
+
+	// Populate the cache (hub unknown on this path — /batch never needs
+	// witnesses; QueryHub will recompute and upgrade the entry). A batch
+	// that observed one shard under two identities raced a reload: its
+	// answers are correct for the snapshots that computed them but not
+	// attributable to a single identity, so they are not cached. The
+	// identity validation runs once for the whole batch, then the
+	// answers are inserted directly.
+	if !conflict && r.cacheValid(st, obs) {
+		for _, i := range pending {
+			p := pairs[i]
+			st.cache.Put(p.U, p.V, Answer{Dist: dists[i], Hub: hubUnknown, Reachable: dists[i] != Infinity})
+		}
+	} else if conflict {
+		r.noteGenerations(obs)
+	}
+	return dists, nil
+}
+
+// cacheValid folds the observations into the router state and reports
+// whether answers computed under them may enter st's cache: the cache
+// instance the request started with must still be the live one, and
+// every shard identity observed while computing must match the live
+// state — an answer that raced a shard reload is simply not cached.
+// First observations (which adopt identities into the state but keep
+// the cache instance) therefore do not lose their answers. The check is
+// per request, not per answer: callers validate once and Put in bulk.
+func (r *Router) cacheValid(st *routerState, obs map[int]genObs) bool {
+	r.noteGenerations(obs)
+	if st.cache == nil {
+		return false
+	}
+	cur := r.state.Load()
+	if cur.cache != st.cache {
+		return false // cache retired by an observed reload/restart
+	}
+	for sid, o := range obs {
+		if cur.epochs[sid] != o.epoch || cur.gens[sid] != o.gen {
+			return false
+		}
+	}
+	return true
+}
+
+// cachePut is cacheValid plus one insertion — the single-query path.
+func (r *Router) cachePut(st *routerState, obs map[int]genObs, u, v int, a Answer) {
+	if r.cacheValid(st, obs) {
+		st.cache.Put(u, v, a)
+	}
+}
+
+// noteGenerations folds freshly observed shard snapshot identities into
+// the router state. First observations are adopted, keeping the current
+// cache; an advance — a reload (same epoch, higher generation) or a
+// restart (new epoch) — swaps in a fresh state with an empty cache, the
+// cluster-level equivalent of the per-snapshot caches below. A stale
+// observation (same epoch, generation at or below the known one — a
+// slow response that started before a reload) is ignored rather than
+// treated as another change, so a reload under concurrent traffic
+// retires the cache exactly once.
+func (r *Router) noteGenerations(obs map[int]genObs) {
+	// Clock-step pre-pass, once per call (not per CAS retry): count
+	// consecutive sightings of the same older epoch; past the threshold
+	// it is the live process answering under a stepped-back clock, and
+	// must be adopted or the shard would be ignored forever.
+	adoptStale := map[int]bool{}
+	if pre := r.state.Load(); pre != nil {
+		for sid, o := range obs {
+			E := pre.epochs[sid]
+			if o.gen == 0 || E == 0 || o.epoch >= E {
+				continue
+			}
+			c := r.shards[sid]
+			if c.staleEpoch.Swap(o.epoch) == o.epoch {
+				if c.staleSeen.Add(1) >= staleAdoptThreshold {
+					adoptStale[sid] = true
+					c.staleSeen.Store(0)
+				}
+			} else {
+				c.staleSeen.Store(1)
+			}
+		}
+	}
+	for {
+		st := r.state.Load()
+		changed := false
+		adopted := false
+		apply := func(sid int, o genObs) bool {
+			E, G := st.epochs[sid], st.gens[sid]
+			switch {
+			case o.gen == 0: // no observation
+				return false
+			case E == 0 && G == 0: // first sighting of this shard
+				return true
+			case o.epoch == E: // same process: generations are ordered
+				return o.gen > G
+			default:
+				// Epochs lead with process start time: a larger one is a
+				// restart, a smaller one a delayed response from a dead
+				// process, which must not regress the state — unless it
+				// keeps answering (clock step; see adoptStale).
+				return o.epoch > E || adoptStale[sid]
+			}
+		}
+		for sid, o := range obs {
+			if !apply(sid, o) {
+				continue
+			}
+			if st.epochs[sid] == 0 && st.gens[sid] == 0 {
+				adopted = true
+			} else {
+				changed = true
+			}
+		}
+		if !changed && !adopted {
+			return
+		}
+		next := &routerState{
+			epochs: append([]uint64(nil), st.epochs...),
+			gens:   append([]uint64(nil), st.gens...),
+			cache:  st.cache,
+		}
+		for sid, o := range obs {
+			if apply(sid, o) {
+				next.epochs[sid], next.gens[sid] = o.epoch, o.gen
+			}
+		}
+		if changed {
+			next.cache = NewCache(r.cacheSize)
+		}
+		if r.state.CompareAndSwap(st, next) {
+			if changed {
+				r.cacheResets.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// --- shard protocol clients ---
+
+// getJSON GETs path on a shard and decodes the response body into out.
+// Non-2xx responses surface the shard's JSON error string.
+func (r *Router) getJSON(c *shardClient, path string, out any) *ShardError {
+	c.requests.Add(1)
+	resp, err := r.client.Get(c.addr + path)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	return r.decodeShardResponse(c, resp, out)
+}
+
+// postJSON POSTs a JSON body to path on a shard.
+func (r *Router) postJSON(c *shardClient, path string, body, out any) *ShardError {
+	c.requests.Add(1)
+	b, err := json.Marshal(body)
+	if err != nil {
+		return c.fail(err)
+	}
+	resp, err := r.client.Post(c.addr+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	return r.decodeShardResponse(c, resp, out)
+}
+
+func (r *Router) decodeShardResponse(c *shardClient, resp *http.Response, out any) *ShardError {
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
+			return c.fail(fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error))
+		}
+		return c.fail(fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.fail(fmt.Errorf("undecodable response: %w", err))
+	}
+	c.mu.Lock()
+	c.lastErr = ""
+	c.mu.Unlock()
+	return nil
+}
+
+// fetchDist forwards a same-shard query whole; the shard answers from its
+// local runs and cache, witness hub included.
+func (r *Router) fetchDist(sid, u, v int, obs map[int]genObs) (float64, int, bool, error) {
+	var resp struct {
+		Reachable  bool    `json:"reachable"`
+		Dist       float64 `json:"dist"`
+		Hub        int     `json:"hub"`
+		Generation uint64  `json:"generation"`
+		Epoch      uint64  `json:"epoch"`
+	}
+	c := r.shards[sid]
+	if err := r.getJSON(c, fmt.Sprintf("/dist?u=%d&v=%d", u, v), &resp); err != nil {
+		return 0, 0, false, &ClusterError{Failed: []*ShardError{err}}
+	}
+	if resp.Generation == 0 {
+		return 0, 0, false, &ClusterError{Failed: []*ShardError{c.fail(errNotShardBackend)}}
+	}
+	c.lastGen.Store(resp.Generation)
+	obs[sid] = genObs{epoch: resp.Epoch, gen: resp.Generation}
+	if !resp.Reachable {
+		return Infinity, 0, false, nil
+	}
+	return resp.Dist, resp.Hub, true, nil
+}
+
+// fetchBatch forwards a same-shard sub-batch, translating the wire's -1
+// back to Infinity.
+func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, genObs, *ShardError) {
+	body := make([][2]int, len(pairs))
+	for i, p := range pairs {
+		body[i] = [2]int{p.U, p.V}
+	}
+	var resp struct {
+		Dists      []float64 `json:"dists"`
+		Generation uint64    `json:"generation"`
+		Epoch      uint64    `json:"epoch"`
+	}
+	c := r.shards[sid]
+	if err := r.postJSON(c, "/batch", body, &resp); err != nil {
+		return nil, genObs{}, err
+	}
+	if len(resp.Dists) != len(pairs) {
+		return nil, genObs{}, c.fail(fmt.Errorf("batch of %d pairs answered with %d distances", len(pairs), len(resp.Dists)))
+	}
+	if resp.Generation == 0 {
+		return nil, genObs{}, c.fail(errNotShardBackend)
+	}
+	for i, d := range resp.Dists {
+		if d == -1 {
+			resp.Dists[i] = Infinity
+		}
+	}
+	c.lastGen.Store(resp.Generation)
+	return resp.Dists, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+}
+
+// fetchRows fetches and validates the packed label rows of vs from shard
+// sid.
+func (r *Router) fetchRows(sid int, vs []int) (map[int][]uint64, genObs, *ShardError) {
+	var resp shardQueryResponse
+	c := r.shards[sid]
+	if err := r.postJSON(c, "/shardquery", shardQueryRequest{Vertices: vs}, &resp); err != nil {
+		return nil, genObs{}, err
+	}
+	if resp.Generation == 0 {
+		return nil, genObs{}, c.fail(errNotShardBackend)
+	}
+	// A shard serving a file over the wrong vertex space (manifest drift)
+	// must be a loud error, not silently wrong joins.
+	if resp.Vertices != r.n {
+		return nil, genObs{}, c.fail(fmt.Errorf("shard serves %d vertices but the manifest says %d — mismatched index files?", resp.Vertices, r.n))
+	}
+	rows := make(map[int][]uint64, len(vs))
+	for _, v := range vs {
+		enc, found := resp.Rows[strconv.Itoa(v)]
+		if !found {
+			return nil, genObs{}, c.fail(fmt.Errorf("row for vertex %d missing from response", v))
+		}
+		run, err := decodePackedRun(enc, r.n)
+		if err != nil {
+			return nil, genObs{}, c.fail(err)
+		}
+		rows[v] = run
+	}
+	c.lastGen.Store(resp.Generation)
+	return rows, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+}
+
+// resolveRank translates a rank-space hub to its original vertex id via
+// any shard holding the (global) permutation — shard sid is used since a
+// request to it is already warm. The shard's snapshot identity is
+// returned so the caller can verify the resolution used the same
+// snapshot the rank came from.
+func (r *Router) resolveRank(sid int, rank int) (int, genObs, *ShardError) {
+	var resp shardQueryResponse
+	c := r.shards[sid]
+	if err := r.postJSON(c, "/shardquery", shardQueryRequest{Resolve: []int{rank}}, &resp); err != nil {
+		return 0, genObs{}, err
+	}
+	orig, found := resp.Resolved[strconv.Itoa(rank)]
+	if !found {
+		return 0, genObs{}, c.fail(fmt.Errorf("rank %d missing from resolution response", rank))
+	}
+	c.lastGen.Store(resp.Generation)
+	return orig, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+}
+
+// crossQueryHub answers a cross-shard query: fetch the two rows
+// concurrently, join locally and — when the caller needs the witness —
+// resolve the winning rank to an original id. The witness rank is
+// meaningful only in the permutation of the snapshot the rows came
+// from, so a resolution that lands on a different snapshot (the shard
+// hot-swapped between the two requests — a rebuilt index may permute
+// ranks differently) is retried from the row fetch; queries never block
+// a reload, they just redo the work. With needHub=false the resolution
+// (and with it the retry loop) is skipped and the hub is hubUnknown.
+func (r *Router) crossQueryHub(su, sv, u, v int, obs map[int]genObs, needHub bool) (float64, int, bool, error) {
+	const attempts = 3
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			fails []*ShardError
+			rowU  []uint64
+			rowV  []uint64
+			obsU  genObs
+		)
+		fetch := func(sid, vertex int, dst *[]uint64, rowObs *genObs) {
+			defer wg.Done()
+			rows, o, err := r.fetchRows(sid, []int{vertex})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				fails = append(fails, err)
+				return
+			}
+			*dst = rows[vertex]
+			*rowObs = o
+			obs[sid] = o
+		}
+		var obsV genObs
+		wg.Add(2)
+		go fetch(su, u, &rowU, &obsU)
+		go fetch(sv, v, &rowV, &obsV)
+		wg.Wait()
+		if len(fails) > 0 {
+			sort.Slice(fails, func(i, j int) bool { return fails[i].Shard < fails[j].Shard })
+			return 0, 0, false, &ClusterError{Failed: fails}
+		}
+		r.crossJoins.Add(1)
+		d, rank, ok := label.JoinPacked(rowU, rowV)
+		if !ok {
+			return Infinity, 0, false, nil
+		}
+		if !needHub {
+			return d, hubUnknown, true, nil
+		}
+		hub, resolveObs, serr := r.resolveRank(su, int(rank))
+		if serr != nil {
+			return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
+		}
+		if resolveObs == obsU {
+			return d, hub, true, nil
+		}
+		// Shard su swapped snapshots between row fetch and resolution;
+		// the rank may not mean the same vertex anymore. Retry cleanly.
+		lastErr = fmt.Errorf("shard %d reloaded mid-query %d times in a row", su, try+1)
+	}
+	return 0, 0, false, &ClusterError{Failed: []*ShardError{{
+		Shard: su, Addr: r.shards[su].addr, Err: lastErr,
+	}}}
+}
+
+// --- health, stats, HTTP ---
+
+// ShardHealth is one shard's state as seen by the router.
+type ShardHealth struct {
+	ID         int    `json:"id"`
+	Addr       string `json:"addr"`
+	OK         bool   `json:"ok"`
+	Generation uint64 `json:"generation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Health probes every shard's /healthz concurrently and reports each
+// one's state; the router serves (degraded) regardless of the outcome.
+func (r *Router) Health() []ShardHealth {
+	out := make([]ShardHealth, len(r.shards))
+	var wg sync.WaitGroup
+	for i, c := range r.shards {
+		wg.Add(1)
+		go func(i int, c *shardClient) {
+			defer wg.Done()
+			h := ShardHealth{ID: c.id, Addr: c.addr}
+			var resp struct {
+				OK         bool   `json:"ok"`
+				Generation uint64 `json:"generation"`
+				Epoch      uint64 `json:"epoch"`
+			}
+			if err := r.getJSON(c, "/healthz", &resp); err != nil {
+				h.Error = err.Error()
+			} else {
+				h.OK = resp.OK
+				h.Generation = resp.Generation
+				c.lastGen.Store(resp.Generation)
+				r.noteGenerations(map[int]genObs{c.id: {epoch: resp.Epoch, gen: resp.Generation}})
+			}
+			out[i] = h
+		}(i, c)
+	}
+	wg.Wait()
+	return out
+}
+
+// RouterShardStats is the per-shard block of RouterStats.
+type RouterShardStats struct {
+	ID         int    `json:"id"`
+	Addr       string `json:"addr"`
+	Requests   int64  `json:"requests_total"`
+	Errors     int64  `json:"errors_total"`
+	LastError  string `json:"last_error,omitempty"`
+	Generation uint64 `json:"generation"` // last observed; 0 = never seen
+}
+
+// RouterStats is the router's /stats response.
+type RouterStats struct {
+	Vertices      int                `json:"vertices"`
+	Shards        []RouterShardStats `json:"shards"`
+	Queries       int64              `json:"queries_total"`
+	CrossJoins    int64              `json:"cross_joins_total"`
+	CacheResets   int64              `json:"cache_resets_total"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Cache         *CacheStats        `json:"cache,omitempty"`
+}
+
+// Stats reports the router's counters and its view of the cluster.
+func (r *Router) Stats() RouterStats {
+	out := RouterStats{
+		Vertices:      r.n,
+		Queries:       r.queries.Load(),
+		CrossJoins:    r.crossJoins.Load(),
+		CacheResets:   r.cacheResets.Load(),
+		UptimeSeconds: time.Since(r.start).Seconds(),
+	}
+	for _, c := range r.shards {
+		c.mu.Lock()
+		lastErr := c.lastErr
+		c.mu.Unlock()
+		out.Shards = append(out.Shards, RouterShardStats{
+			ID:         c.id,
+			Addr:       c.addr,
+			Requests:   c.requests.Load(),
+			Errors:     c.errors.Load(),
+			LastError:  lastErr,
+			Generation: c.lastGen.Load(),
+		})
+	}
+	if c := r.state.Load().cache; c != nil {
+		cs := c.Stats()
+		out.Cache = &cs
+	}
+	return out
+}
+
+// Handler returns the router's HTTP API — the same public surface as a
+// single-process Server (GET /dist, POST /batch, GET /stats, GET
+// /healthz, GET /metrics) plus POST /reload?shard=I[&path=P], which
+// proxies a hot reload to one shard. Errors are JSON bodies; shard
+// failures are 502s listing the failed shards.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/dist", r.metrics.wrap("/dist", r.handleDist))
+	mux.HandleFunc("/batch", r.metrics.wrap("/batch", r.handleBatch))
+	mux.HandleFunc("/stats", r.metrics.wrap("/stats", r.handleStats))
+	mux.HandleFunc("/healthz", r.metrics.wrap("/healthz", r.handleHealthz))
+	mux.HandleFunc("/reload", r.metrics.wrap("/reload", r.handleReload))
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	return mux
+}
+
+// routeError maps a routing failure to its HTTP response.
+func routeError(w http.ResponseWriter, err error) {
+	var vr *VertexRangeError
+	if errors.As(err, &vr) {
+		httpError(w, http.StatusBadRequest, vr.Error())
+		return
+	}
+	var ce *ClusterError
+	if errors.As(err, &ce) {
+		failed := make([]map[string]any, len(ce.Failed))
+		for i, f := range ce.Failed {
+			failed[i] = map[string]any{"shard": f.Shard, "addr": f.Addr, "error": f.Err.Error()}
+		}
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":         ce.Error(),
+			"failed_shards": failed,
+		})
+		return
+	}
+	httpError(w, http.StatusBadGateway, err.Error())
+}
+
+func (r *Router) handleDist(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /dist?u=&v=")
+		return
+	}
+	u, err1 := strconv.Atoi(req.URL.Query().Get("u"))
+	v, err2 := strconv.Atoi(req.URL.Query().Get("v"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "u and v must be integer vertex ids")
+		return
+	}
+	d, hub, ok, err := r.QueryHub(u, v)
+	if err != nil {
+		routeError(w, err)
+		return
+	}
+	resp := map[string]any{"u": u, "v": v, "reachable": ok}
+	if ok {
+		resp["dist"] = d
+		resp["hub"] = hub
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON array of [u,v] pairs")
+		return
+	}
+	pairs, ok := decodeBatchBody(w, req, r.n)
+	if !ok {
+		return
+	}
+	dists, err := r.Batch(pairs)
+	if err != nil {
+		routeError(w, err)
+		return
+	}
+	for i, d := range dists {
+		if d == Infinity {
+			dists[i] = -1 // JSON has no +Inf
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dists": dists})
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /stats")
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /healthz")
+		return
+	}
+	shards := r.Health()
+	ok := true
+	for _, h := range shards {
+		ok = ok && h.OK
+	}
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ok": ok, "shards": shards})
+}
+
+// handleReload proxies POST /reload?shard=I[&path=P] to one shard server,
+// so an operator can hot-swap any shard through the router. The response
+// is the shard's own /reload response.
+func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST /reload?shard=I&path=P")
+		return
+	}
+	sid, err := strconv.Atoi(req.URL.Query().Get("shard"))
+	if err != nil || sid < 0 || sid >= len(r.shards) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("shard must name a shard in [0,%d)", len(r.shards)))
+		return
+	}
+	path := "/reload"
+	if p := req.URL.Query().Get("path"); p != "" {
+		path += "?path=" + url.QueryEscape(p)
+	}
+	c := r.shards[sid]
+	c.requests.Add(1)
+	resp, err := r.client.Post(c.addr+path, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		// Transport failure: the shard really is unreachable.
+		routeError(w, &ClusterError{Failed: []*ShardError{c.fail(err)}})
+		return
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		// The shard spoke; an operator error (bad path → 400) is relayed
+		// verbatim, not dressed up as a shard failure — it must not trip
+		// error counters or health dashboards.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		routeError(w, &ClusterError{Failed: []*ShardError{c.fail(fmt.Errorf("undecodable reload response: %w", err))}})
+		return
+	}
+	// Successful round trip: the shard is healthy again as far as the
+	// router can tell (mirrors decodeShardResponse's success path).
+	c.mu.Lock()
+	c.lastErr = ""
+	c.mu.Unlock()
+	// A successful reload bumped the shard's generation; fold it in now
+	// so the next query doesn't serve one answer from the retired cache.
+	g, gok := out["generation"].(float64)
+	e, eok := out["epoch"].(float64)
+	if gok && eok {
+		c.lastGen.Store(uint64(g))
+		r.noteGenerations(map[int]genObs{sid: {epoch: uint64(e), gen: uint64(g)}})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetrics exposes the router in Prometheus text format.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /metrics")
+		return
+	}
+	st := r.Stats()
+	w.Header().Set("Content-Type", promContentType)
+	r.metrics.writeTo(w, "chl_router")
+	promGauge(w, "chl_router_vertices", "Vertex-id space served by the cluster.", float64(st.Vertices))
+	promGauge(w, "chl_router_shard_count", "Shards behind this router.", float64(len(st.Shards)))
+	promGauge(w, "chl_router_uptime_seconds", "Seconds since the router started.", st.UptimeSeconds)
+	promCounter(w, "chl_router_queries_total", "Queries routed.", st.Queries)
+	promCounter(w, "chl_router_cross_joins_total", "Cross-shard hub joins performed at the router.", st.CrossJoins)
+	promCounter(w, "chl_router_cache_resets_total", "Answer-cache resets after observed shard reloads.", st.CacheResets)
+	if st.Cache != nil {
+		promGauge(w, "chl_router_cache_entries", "Answers currently cached at the router.", float64(st.Cache.Entries))
+		promGauge(w, "chl_router_cache_capacity", "Router answer cache capacity.", float64(st.Cache.Capacity))
+		promCounter(w, "chl_router_cache_hits_total", "Router answer cache hits.", st.Cache.Hits)
+		promCounter(w, "chl_router_cache_misses_total", "Router answer cache misses.", st.Cache.Misses)
+	}
+	fmt.Fprintf(w, "# HELP chl_router_shard_requests_total Requests sent to each shard.\n# TYPE chl_router_shard_requests_total counter\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chl_router_shard_requests_total{shard=\"%d\"} %d\n", sh.ID, sh.Requests)
+	}
+	fmt.Fprintf(w, "# HELP chl_router_shard_errors_total Failed requests per shard.\n# TYPE chl_router_shard_errors_total counter\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chl_router_shard_errors_total{shard=\"%d\"} %d\n", sh.ID, sh.Errors)
+	}
+	fmt.Fprintf(w, "# HELP chl_router_shard_generation Last observed snapshot generation per shard (0 = never seen).\n# TYPE chl_router_shard_generation gauge\n")
+	for _, sh := range st.Shards {
+		fmt.Fprintf(w, "chl_router_shard_generation{shard=\"%d\"} %d\n", sh.ID, sh.Generation)
+	}
+}

@@ -1,6 +1,9 @@
 package chl
 
 import (
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/shard"
 )
 
 // maxBatchBytes bounds a /batch request body; past this the decoder never
@@ -66,8 +71,10 @@ func (sn *Snapshot) Release() {
 // current snapshot serving untouched.
 //
 // Handler exposes the HTTP API (/dist, /batch, /stats, /reload,
-// /healthz) documented in README.md; the query methods serve embedders
-// directly.
+// /healthz, /metrics, /shardquery) documented in README.md; the query
+// methods serve embedders directly. SetShard turns the server into one
+// shard of a split cluster (see Router); SetPrefault warms fresh
+// mappings before they go live.
 type Server struct {
 	cur       atomic.Pointer[Snapshot]
 	mu        sync.Mutex // serializes Reload
@@ -76,6 +83,34 @@ type Server struct {
 	queries   atomic.Int64
 	reloads   atomic.Int64
 	start     time.Time
+	metrics   *httpMetrics
+
+	// epoch is a per-process stamp reported alongside the generation on
+	// the router-facing responses. Generations restart at 1 in every
+	// process, so a shard restart (possibly serving different content)
+	// would be indistinguishable from "nothing changed" by generation
+	// alone; the (epoch, generation) pair is unique per snapshot across
+	// restarts, which is what the Router's cache retirement keys on.
+	// Epochs are ordered by process start time (millisecond resolution,
+	// random low bits), so the router can also tell a delayed response
+	// from a dead process apart from a fresh restart.
+	epoch uint64
+
+	// Shard identity, set by SetShard before serving: when part is
+	// non-nil the server owns only its vertex range and the query
+	// handlers reject misrouted vertices with 421. shardN pins the
+	// cluster's vertex space (the count served when SetShard ran):
+	// reloads of a shard server reject files over a different space, so
+	// a wrong-cluster file is a loud 400, not silently wrong answers.
+	shardID int
+	part    *shard.Partition
+	shardN  int
+	owned   []uint64 // ownership bitmap over [0,shardN), built once by SetShard
+
+	// prefault asks reload to fault a fresh mapping fully in before the
+	// swap (FlatIndex.Prefault), trading reload latency for a warm first
+	// generation of queries.
+	prefault atomic.Bool
 }
 
 // NewServer opens the flat index file at path (memory-mapped when
@@ -101,7 +136,101 @@ func NewServerFromFlat(fx *FlatIndex, cacheSize int) *Server {
 }
 
 func newServer(cacheSize int) *Server {
-	return &Server{cacheSize: cacheSize, start: time.Now()}
+	var e [8]byte
+	// Low bits stay random so two restarts in the same millisecond still
+	// get distinct epochs (rand failure degrades to zeros: distinctness
+	// then rests on the clock alone, which is fine — the epoch is an
+	// identity, not a secret).
+	_, _ = rand.Read(e[:])
+	// Epoch layout: milliseconds since the Unix epoch in the high bits,
+	// 10 random bits below, truncated to 53 bits so the value survives a
+	// float64 round trip (JSON consumers, including the router's /reload
+	// proxy, decode numbers into float64). Millisecond ordering is what
+	// lets the router order epochs by process start; 53 bits last until
+	// the year ~2248.
+	epoch := uint64(time.Now().UnixMilli())<<10 | uint64(binary.LittleEndian.Uint16(e[:])&0x3ff)
+	return &Server{
+		cacheSize: cacheSize,
+		start:     time.Now(),
+		epoch:     epoch & (1<<53 - 1),
+		shardID:   -1,
+		metrics:   newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz", "/shardquery"),
+	}
+}
+
+// SetShard declares this server to be shard id of partition p: the query
+// endpoints then serve only vertices the shard owns (misrouted requests
+// get 421 Misdirected Request), and /shardquery returns label rows for
+// the Router's cross-shard hub joins. Call before serving; shard identity
+// is fixed for the server's lifetime.
+func (s *Server) SetShard(id int, p *shard.Partition) error {
+	if p == nil {
+		return fmt.Errorf("chl: SetShard needs a partition")
+	}
+	if id < 0 || id >= p.Shards() {
+		return fmt.Errorf("chl: shard id %d out of range [0,%d)", id, p.Shards())
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	// One ring lookup per vertex, once: the query handlers' ownership
+	// checks and every reload's shard-file validation read this bitmap
+	// instead of re-hashing.
+	owned := make([]uint64, (n+63)/64)
+	for v := 0; v < n; v++ {
+		if p.Owner(v) == id {
+			owned[v>>6] |= 1 << (v & 63)
+		}
+	}
+	s.shardID, s.part, s.shardN, s.owned = id, p, n, owned
+	if err := s.checkShardFile(sn.fx); err != nil {
+		s.shardID, s.part, s.shardN, s.owned = -1, nil, 0, nil
+		return err
+	}
+	return nil
+}
+
+// checkShardFile verifies that fx plausibly is this shard's slice: no
+// vertex outside the shard's ownership may carry label runs. This is
+// what catches a shard pointed at the wrong slice file, or at a slice
+// from a re-split cluster (different shard count or ring seed) whose
+// vertex count happens to match — both would otherwise serve
+// reachable:false for vertices whose runs the file doesn't hold,
+// silently. Called by SetShard and by every shard reload; the scan is
+// one linear pass over the bitmap and the offsets array, no ring
+// lookups.
+func (s *Server) checkShardFile(fx *FlatIndex) error {
+	n := fx.NumVertices()
+	if n != s.shardN {
+		return fmt.Errorf("chl: index covers %d vertices but this shard serves a %d-vertex cluster", n, s.shardN)
+	}
+	for v := 0; v < n; v++ {
+		if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.flat.LabelCount(v) > 0 {
+			return fmt.Errorf("chl: index holds labels for vertex %d, which shard %d does not own — wrong shard file, or a file from a re-split cluster?", v, s.shardID)
+		}
+	}
+	return nil
+}
+
+// SetPrefault controls whether reloads fault the incoming mapping fully
+// in before swapping it live (see FlatIndex.Prefault). Enabling it also
+// prefaults the currently served snapshot. Prefault trades reload latency
+// for first-query latency; it matters for large mapped indexes on cold
+// page cache.
+func (s *Server) SetPrefault(on bool) {
+	s.prefault.Store(on)
+	if on {
+		sn := s.Acquire()
+		sn.fx.Prefault()
+		sn.Release()
+	}
+}
+
+// owns reports whether this server serves vertex v (always true for a
+// non-shard server). Shard ownership is a bitmap test, not a ring
+// lookup — SetShard precomputed it.
+func (s *Server) owns(v int) bool {
+	return s.part == nil || s.owned[v>>6]&(1<<(v&63)) != 0
 }
 
 // install publishes fx as the next generation and retires the previous
@@ -180,6 +309,22 @@ func (s *Server) reload(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A shard server's slice is pinned by its cluster manifest; a reload
+	// must not smuggle in a file from a different cluster build — not a
+	// different vertex space, and not a re-split of the same graph under
+	// another ring. (Non-shard servers may legitimately swap between
+	// arbitrary indexes.)
+	if s.part != nil {
+		if err := s.checkShardFile(fx); err != nil {
+			fx.Close()
+			return nil, fmt.Errorf("chl: reload %s rejected: %w", path, err)
+		}
+	}
+	if s.prefault.Load() {
+		// Fault the new mapping in while the old generation still serves;
+		// the swap below then publishes an already-warm snapshot.
+		fx.Prefault()
+	}
 	sn := s.install(fx, path)
 	s.reloads.Add(1)
 	return sn, nil
@@ -236,6 +381,13 @@ type ServerStats struct {
 	Queries       int64       `json:"queries_total"`
 	Reloads       int64       `json:"reloads_total"`
 	Cache         *CacheStats `json:"cache,omitempty"`
+	Shard         *ShardStats `json:"shard,omitempty"`
+}
+
+// ShardStats identifies a shard server within its cluster.
+type ShardStats struct {
+	ID     int `json:"id"`
+	Shards int `json:"shards"`
 }
 
 // Stats reports the server's current state.
@@ -258,20 +410,27 @@ func (s *Server) Stats() ServerStats {
 		cs := c.Stats()
 		st.Cache = &cs
 	}
+	if s.part != nil {
+		st.Shard = &ShardStats{ID: s.shardID, Shards: s.part.Shards()}
+	}
 	return st
 }
 
 // Handler returns the HTTP API: GET /dist, POST /batch, GET /stats,
-// POST /reload, GET /healthz. Every error is a JSON body
-// {"error": "..."} with a precise status code; see README.md for the
-// full request/response schemas.
+// POST /reload, GET /healthz, GET /metrics (Prometheus text format with
+// per-endpoint latency histograms), and — for the sharded tier —
+// POST /shardquery. Every error is a JSON body {"error": "..."} with a
+// precise status code; see README.md for the full request/response
+// schemas.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/dist", s.handleDist)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/reload", s.handleReload)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/dist", s.metrics.wrap("/dist", s.handleDist))
+	mux.HandleFunc("/batch", s.metrics.wrap("/batch", s.handleBatch))
+	mux.HandleFunc("/stats", s.metrics.wrap("/stats", s.handleStats))
+	mux.HandleFunc("/reload", s.metrics.wrap("/reload", s.handleReload))
+	mux.HandleFunc("/healthz", s.metrics.wrap("/healthz", s.handleHealthz))
+	mux.HandleFunc("/shardquery", s.metrics.wrap("/shardquery", s.handleShardQuery))
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -293,14 +452,38 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
 		return
 	}
+	if !s.owns(u) || !s.owns(v) {
+		s.misdirected(w, u, v)
+		return
+	}
 	s.queries.Add(1)
 	d, hub, ok := sn.eng.QueryHub(u, v)
 	resp := map[string]any{"u": u, "v": v, "reachable": ok}
+	if s.part != nil {
+		// Snapshot identity for the router's cache retirement; plain
+		// servers keep the documented public schema.
+		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+	}
 	if ok {
 		resp["dist"] = d
 		resp["hub"] = hub
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// misdirected rejects a query for vertices this shard does not own. The
+// router never produces these; a 421 therefore means a client bypassed
+// the router or the cluster's manifests disagree.
+func (s *Server) misdirected(w http.ResponseWriter, us ...int) {
+	for _, u := range us {
+		if !s.owns(u) {
+			writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+				"error": fmt.Sprintf("vertex %d is not owned by shard %d; route through the cluster's router", u, s.shardID),
+				"shard": s.shardID,
+			})
+			return
+		}
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -310,7 +493,37 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	sn := s.Acquire()
 	defer sn.Release()
-	n := sn.fx.NumVertices()
+	pairs, ok := decodeBatchBody(w, r, sn.fx.NumVertices())
+	if !ok {
+		return
+	}
+	if s.part != nil {
+		for _, p := range pairs {
+			if !s.owns(p.U) || !s.owns(p.V) {
+				s.misdirected(w, p.U, p.V)
+				return
+			}
+		}
+	}
+	s.queries.Add(int64(len(pairs)))
+	dists := sn.eng.Batch(pairs)
+	for i, d := range dists {
+		if d == Infinity {
+			dists[i] = -1 // JSON has no +Inf
+		}
+	}
+	resp := map[string]any{"dists": dists}
+	if s.part != nil {
+		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBatchBody parses a /batch request body — a JSON array of [u,v]
+// pairs — bounds-checking every id against n. On failure it writes the
+// error response and returns ok=false. Shared by the single-process
+// server and the Router, which must reject exactly the same bodies.
+func decodeBatchBody(w http.ResponseWriter, r *http.Request, n int) ([]QueryPair, bool) {
 	// Decode into slices, not [2]int arrays: encoding/json silently
 	// discards excess elements when filling a fixed-size array, and a
 	// malformed pair must be a 400, not a quietly wrong answer.
@@ -322,28 +535,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusRequestEntityTooLarge
 		}
 		httpError(w, code, "body must be a JSON array of [u,v] pairs: "+err.Error())
-		return
+		return nil, false
 	}
 	pairs := make([]QueryPair, len(raw))
 	for i, p := range raw {
 		if len(p) != 2 {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("pair %d has %d elements, want [u,v]", i, len(p)))
-			return
+			return nil, false
 		}
 		if p[0] < 0 || p[1] < 0 || p[0] >= n || p[1] >= n {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("pair %d = [%d,%d] out of range [0,%d)", i, p[0], p[1], n))
-			return
+			return nil, false
 		}
 		pairs[i] = QueryPair{U: p[0], V: p[1]}
 	}
-	s.queries.Add(int64(len(pairs)))
-	dists := sn.eng.Batch(pairs)
-	for i, d := range dists {
-		if d == Infinity {
-			dists[i] = -1 // JSON has no +Inf
-		}
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"dists": dists})
+	return pairs, true
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -384,19 +590,184 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	// Describe the snapshot this request installed; a racing reload may
 	// already have superseded it, but the response must be coherent.
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"generation": sn.gen,
 		"path":       sn.path,
 		"mapped":     sn.fx.Mapped(),
 		"vertices":   sn.fx.NumVertices(),
 		"labels":     sn.fx.TotalLabels(),
-	})
+	}
+	if s.part != nil {
+		resp["epoch"] = s.epoch
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sn := s.Acquire()
 	defer sn.Release()
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "generation": sn.gen})
+	resp := map[string]any{"ok": true, "generation": sn.gen}
+	if s.part != nil {
+		resp["epoch"] = s.epoch
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// shardQueryRequest is the POST /shardquery body: label-row fetches for
+// the router's cross-shard hub joins, plus rank→original-id resolution
+// for reporting witness hubs. Either list may be empty.
+type shardQueryRequest struct {
+	Vertices []int `json:"vertices,omitempty"`
+	Resolve  []int `json:"resolve,omitempty"`
+}
+
+// shardQueryResponse carries packed label runs keyed by vertex id. Each
+// row is the vertex's entries array slice — little-endian uint64 words,
+// hub (rank space) in the high 32 bits, float32 distance bits in the low
+// 32 — base64-encoded so the bytes cross the wire exactly as they sit in
+// the shard's (usually memory-mapped) index. Generation lets the router
+// detect shard reloads and retire its answer cache.
+type shardQueryResponse struct {
+	Generation uint64            `json:"generation"`
+	Epoch      uint64            `json:"epoch"`
+	Vertices   int               `json:"n"`
+	Rows       map[string]string `json:"rows,omitempty"`
+	Resolved   map[string]int    `json:"resolved,omitempty"`
+}
+
+// handleShardQuery serves the internal shard-to-router protocol: label
+// rows for owned vertices (the router joins them locally) and rank
+// resolution (any shard can resolve — the permutation is global and
+// identical in every shard file).
+func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
+	if s.part == nil {
+		// Not part of a cluster: the internal protocol (raw label-row
+		// dumps, snapshot identities) stays off plain public servers,
+		// and a router misconfigured against one fails loudly on every
+		// path, not just the same-shard ones.
+		httpError(w, http.StatusNotFound, "shardquery is only served by shard servers (started with a cluster manifest)")
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON {\"vertices\":[...],\"resolve\":[...]} body")
+		return
+	}
+	var req shardQueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "body must be a JSON object {\"vertices\":[...],\"resolve\":[...]}: "+err.Error())
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	resp := shardQueryResponse{Generation: sn.gen, Epoch: s.epoch, Vertices: n}
+	if len(req.Vertices) > 0 {
+		resp.Rows = make(map[string]string, len(req.Vertices))
+	}
+	for _, v := range req.Vertices {
+		if v < 0 || v >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex id %d out of range [0,%d)", v, n))
+			return
+		}
+		if !s.owns(v) {
+			s.misdirected(w, v)
+			return
+		}
+		resp.Rows[strconv.Itoa(v)] = encodePackedRun(sn.fx.flat.PackedRun(v))
+	}
+	if len(req.Resolve) > 0 {
+		resp.Resolved = make(map[string]int, len(req.Resolve))
+	}
+	for _, rank := range req.Resolve {
+		if rank < 0 || rank >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("rank %d out of range [0,%d)", rank, n))
+			return
+		}
+		resp.Resolved[strconv.Itoa(rank)] = sn.fx.perm[rank]
+	}
+	s.queries.Add(int64(len(req.Vertices)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// encodePackedRun serializes a packed label run as base64 of its
+// little-endian bytes.
+func encodePackedRun(run []uint64) string {
+	b := make([]byte, 8*len(run))
+	for i, e := range run {
+		binary.LittleEndian.PutUint64(b[i*8:], e)
+	}
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// decodePackedRun reverses encodePackedRun, validating that the run is a
+// structurally sound label run for an n-vertex index: length a multiple
+// of 8 bytes, strictly ascending packed words (= strictly ascending
+// hubs), every hub < n. The router runs this on rows received from
+// shards before they reach the join kernels, whose scratch indexing
+// trusts hub ids.
+func decodePackedRun(enc string, n int) ([]uint64, error) {
+	b, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		return nil, fmt.Errorf("chl: undecodable label row: %w", err)
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("chl: label row of %d bytes is not a whole number of entries", len(b))
+	}
+	run := make([]uint64, len(b)/8)
+	for i := range run {
+		run[i] = binary.LittleEndian.Uint64(b[i*8:])
+		if hub := run[i] >> 32; hub >= uint64(n) {
+			return nil, fmt.Errorf("chl: label row entry %d has out-of-range hub %d (n=%d)", i, hub, n)
+		}
+		if i > 0 && run[i-1]>>32 >= run[i]>>32 {
+			return nil, fmt.Errorf("chl: label row hubs not strictly sorted at entry %d", i)
+		}
+	}
+	return run, nil
+}
+
+// handleMetrics exposes the server in Prometheus text format: the
+// per-endpoint latency histograms plus index-shape and counter gauges.
+// Deliberately not instrumented itself — scrapes shouldn't pollute the
+// serving histograms.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /metrics")
+		return
+	}
+	st := s.Stats()
+	w.Header().Set("Content-Type", promContentType)
+	s.metrics.writeTo(w, "chl")
+	promGauge(w, "chl_index_vertices", "Vertices covered by the served index.", float64(st.Vertices))
+	promGauge(w, "chl_index_labels", "Labels in the served index.", float64(st.Labels))
+	promGauge(w, "chl_index_memory_bytes", "Byte footprint of the served label arrays.", float64(st.MemoryBytes))
+	promGauge(w, "chl_index_mapped", "1 when the index is served from a memory mapping.", boolGauge(st.Mapped))
+	promGauge(w, "chl_index_generation", "Current snapshot generation.", float64(st.Generation))
+	promGauge(w, "chl_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
+	promCounter(w, "chl_queries_total", "Point-to-point queries answered.", st.Queries)
+	promCounter(w, "chl_reloads_total", "Successful hot reloads.", st.Reloads)
+	if st.Cache != nil {
+		promGauge(w, "chl_cache_entries", "Answers currently cached.", float64(st.Cache.Entries))
+		promGauge(w, "chl_cache_capacity", "Answer cache capacity.", float64(st.Cache.Capacity))
+		promCounter(w, "chl_cache_hits_total", "Answer cache hits.", st.Cache.Hits)
+		promCounter(w, "chl_cache_misses_total", "Answer cache misses.", st.Cache.Misses)
+	}
+	if st.Shard != nil {
+		promGauge(w, "chl_shard_id", "This server's shard id within its cluster.", float64(st.Shard.ID))
+		promGauge(w, "chl_shard_count", "Shards in this server's cluster.", float64(st.Shard.Shards))
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
