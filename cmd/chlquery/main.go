@@ -20,6 +20,10 @@
 //	chlquery -load road.flat -split 3 -shards-dir ./cluster
 //	chlquery -serve :8081 -manifest ./cluster/cluster.json -shard 0
 //
+// Any shard may be served by several replica processes (same -manifest
+// and -shard, different ports) for read scaling and failover; -split
+// -addrs records the replica topology in the manifest for the router.
+//
 // Serving loads the flat file through chl.OpenFlat — memory-mapped and
 // zero-copy on platforms that support it — and hot-swaps index files
 // without dropping in-flight queries, via POST /reload or SIGHUP. The
@@ -66,6 +70,7 @@ func main() {
 		splitK    = flag.Int("split", 0, "slice the index into this many shard files plus a cluster manifest")
 		shardsDir = flag.String("shards-dir", "cluster", "output directory for -split")
 		replicas  = flag.Int("replicas", 64, "virtual ring points per shard for -split")
+		addrs     = flag.String("addrs", "", "for -split: record the serving topology in the manifest — comma-separated shard slots in shard-id order, replicas of one shard joined with |")
 		shardID   = flag.Int("shard", -1, "serve as this shard of the cluster described by -manifest")
 		manifest  = flag.String("manifest", "", "cluster manifest (cluster.json) for -shard")
 	)
@@ -82,7 +87,7 @@ func main() {
 	}
 
 	if *splitK > 0 {
-		runSplit(fx, *splitK, *shardsDir, *replicas, uint64(*seed))
+		runSplit(fx, *splitK, *shardsDir, *replicas, uint64(*seed), *addrs)
 		return
 	}
 	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB\n",
@@ -166,18 +171,34 @@ func answer(fx *chl.FlatIndex, u, v int) {
 }
 
 // runSplit slices fx into k per-shard flat files plus the cluster
-// manifest cmd/chlrouter and -shard serving consume.
-func runSplit(fx *chl.FlatIndex, k int, dir string, replicas int, seed uint64) {
+// manifest cmd/chlrouter and -shard serving consume. A non-empty addrs
+// spec ("http://a|http://a2,http://b,...": one slot per shard, replicas
+// joined with |) is recorded in the manifest as the cluster's serving
+// topology, so the router can be pointed at the manifest alone.
+func runSplit(fx *chl.FlatIndex, k int, dir string, replicas int, seed uint64, addrs string) {
 	m, err := fx.SaveShards(dir, k, replicas, seed)
 	if err != nil {
 		fatal(err)
 	}
+	manifestPath := filepath.Join(dir, shard.ManifestName)
+	if addrs != "" {
+		for _, slot := range strings.Split(addrs, ",") {
+			m.ReplicaAddrs = append(m.ReplicaAddrs, strings.Split(slot, "|"))
+		}
+		if err := shard.WriteManifest(manifestPath, m); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Printf("wrote %d shards + %s to %s\n", k, shard.ManifestName, dir)
 	for i, f := range m.Files {
-		fmt.Printf("  shard %d: %s (%d vertices)\n", i, f, m.VertexCounts[i])
+		fmt.Printf("  shard %d: %s (%d vertices)", i, f, m.VertexCounts[i])
+		if m.ReplicaAddrs != nil {
+			fmt.Printf(" @ %s", strings.Join(m.ReplicaAddrs[i], ", "))
+		}
+		fmt.Println()
 	}
-	fmt.Printf("serve each with: chlquery -serve :PORT -manifest %s -shard I\n",
-		filepath.Join(dir, shard.ManifestName))
+	fmt.Printf("serve each with: chlquery -serve :PORT -manifest %s -shard I  (every replica of shard I uses the same -shard I)\n",
+		manifestPath)
 }
 
 // runServe builds the hot-swappable serving tier and blocks on HTTP. The

@@ -12,18 +12,30 @@
 //	chlrouter -serve :8080 -manifest ./cluster/cluster.json \
 //	    -shards http://localhost:8081,http://localhost:8082,http://localhost:8083
 //
-// The router then answers:
+// Each shard may be served by a replica group — several processes over
+// the same slice file, listed with | inside the shard's slot — and the
+// router load-balances across them (power-of-two-choices) and fails
+// over when a replica dies: a query only fails when every replica of a
+// shard is down. Start a second process per shard and list both:
+//
+//	chlquery -serve :9081 -manifest ./cluster/cluster.json -shard 0   # replica 1 of shard 0
+//	chlrouter -serve :8080 -manifest ./cluster/cluster.json \
+//	    -shards 'http://localhost:8081|http://localhost:9081,http://localhost:8082,http://localhost:8083'
+//
+// With -shards omitted the router uses the replica_addrs recorded in a
+// v2 manifest (chlquery -split -addrs). The router then answers:
 //
 //	GET  /dist?u=17&v=3942      → same schema as a single server, bit-identical answers
 //	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
-//	GET  /stats                 → per-shard request/error counters, router cache, generations
-//	GET  /healthz               → per-shard health; 503 (with detail) when any shard is down
+//	GET  /stats                 → per-replica request/error/ejection counters, router cache, generations
+//	GET  /healthz               → per-replica health; 503 only when some shard has no live replica
 //	GET  /metrics               → Prometheus text format, per-endpoint latency histograms
-//	POST /reload?shard=1&path=… → proxy a hot swap to one shard
+//	POST /reload?shard=1&replica=0&path=… → proxy a hot swap to one shard replica
 //
 // Same-shard queries are forwarded whole; cross-shard queries fetch the
 // two label rows and hub-join at the router (QDOL-style point-to-point
-// routing — see ARCHITECTURE.md "Sharded serving").
+// routing — see ARCHITECTURE.md "Sharded serving" and "Replicated
+// serving").
 package main
 
 import (
@@ -42,39 +54,53 @@ import (
 func main() {
 	var (
 		manifestPath = flag.String("manifest", "", "cluster manifest written by chlquery -split (cluster.json)")
-		shardAddrs   = flag.String("shards", "", "comma-separated shard base URLs, in shard-id order")
+		shardAddrs   = flag.String("shards", "", "comma-separated shard slots in shard-id order; replicas of one shard joined with | (default: the manifest's replica_addrs)")
 		serveAddr    = flag.String("serve", ":8080", "address to serve the router API on")
 		cacheCap     = flag.Int("cache", 1<<16, "router answer cache capacity (0 disables)")
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-shard request timeout")
+		ejectAfter   = flag.Int("eject-after", 3, "consecutive failures before a replica is ejected from rotation")
+		probation    = flag.Duration("probation", 2*time.Second, "how long an ejected replica sits out before one request probes it")
 	)
 	flag.Parse()
 
-	if *manifestPath == "" || *shardAddrs == "" {
-		fatal(fmt.Errorf("pass -manifest FILE and -shards URL,URL,..."))
+	if *manifestPath == "" {
+		fatal(fmt.Errorf("pass -manifest FILE (and -shards URL[|URL...],... unless the manifest records replica_addrs)"))
 	}
 	m, err := shard.ReadManifest(*manifestPath)
 	if err != nil {
 		fatal(err)
 	}
-	addrs := strings.Split(*shardAddrs, ",")
+	var groups [][]string
+	if *shardAddrs != "" {
+		for _, slot := range strings.Split(*shardAddrs, ",") {
+			groups = append(groups, strings.Split(slot, "|"))
+		}
+	}
 	r, err := chl.NewRouter(chl.RouterConfig{
-		Manifest:  m,
-		Addrs:     addrs,
-		CacheSize: *cacheCap,
-		Timeout:   *timeout,
+		Manifest:     m,
+		ReplicaAddrs: groups,
+		CacheSize:    *cacheCap,
+		Timeout:      *timeout,
+		EjectAfter:   *ejectAfter,
+		Probation:    *probation,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cluster: n=%d shards=%d replicas=%d cache=%d\n", m.Vertices, m.Shards, m.Replicas, *cacheCap)
-	for i, h := range r.Health() {
-		state := "up"
-		if !h.OK {
-			state = "DOWN (" + h.Error + ")"
+	fmt.Printf("cluster: n=%d shards=%d ring-replicas=%d cache=%d eject-after=%d probation=%v\n",
+		m.Vertices, m.Shards, m.Replicas, *cacheCap, *ejectAfter, *probation)
+	for _, h := range r.Health() {
+		states := make([]string, len(h.Replicas))
+		for j, rh := range h.Replicas {
+			state := "up"
+			if !rh.OK {
+				state = "DOWN (" + rh.Error + ")"
+			}
+			states[j] = fmt.Sprintf("%s %s", rh.Addr, state)
 		}
-		fmt.Printf("  shard %d @ %s: %s\n", i, addrs[i], state)
+		fmt.Printf("  shard %d: %s\n", h.ID, strings.Join(states, ", "))
 	}
-	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=)\n", *serveAddr)
+	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=&replica=)\n", *serveAddr)
 	log.Fatal(http.ListenAndServe(*serveAddr, r.Handler()))
 }
 

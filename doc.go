@@ -101,8 +101,15 @@
 // hot-swap and answer cache; the router watches shard generations and
 // retires its cluster-level cache whenever a shard reloads, and degrades
 // per shard — failures 502 with a body naming exactly the shards that
-// failed. cmd/chlrouter is the standalone router; ARCHITECTURE.md
-// ("Sharded serving") has the topology, file layout, and protocol.
+// failed. Any shard may be served by a replica group (several processes
+// over the same slice file, RouterConfig.ReplicaAddrs or a v2
+// manifest's replica_addrs): the router load-balances across healthy
+// replicas with power-of-two-choices, retries failed requests on the
+// next replica — a query fails only when every replica of a shard is
+// down — and ejects repeatedly failing replicas until a timed probation
+// probe readmits them. cmd/chlrouter is the standalone router;
+// ARCHITECTURE.md ("Sharded serving", "Replicated serving") has the
+// topology, file layout, and protocol.
 //
 // # Distributed execution
 //

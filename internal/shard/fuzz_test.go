@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseManifest drives the manifest parser with arbitrary bytes. The
+// invariants: it never panics, anything it accepts re-validates and
+// round-trips through JSON to an equally valid manifest, and the ring an
+// accepted manifest describes is actually constructible within the
+// validation bounds.
+func FuzzParseManifest(f *testing.F) {
+	// Seeds: the writer's own output for a v1 and a v2 manifest, plus
+	// characteristic corruptions of each.
+	m, err := NewManifest(1000, 3, 64, 42, []string{"shard-000.flat", "shard-001.flat", "shard-002.flat"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m.VertexCounts = []int{400, 300, 300}
+	v2, _ := json.Marshal(m)
+	f.Add(v2)
+	m2 := *m
+	m2.ReplicaAddrs = [][]string{
+		{"http://a:1", "http://a:2"}, {"http://b:1"}, {"http://c:1", "http://c:2"},
+	}
+	v2r, _ := json.Marshal(&m2)
+	f.Add(v2r)
+	f.Add([]byte(`{"version":1,"vertices":500,"shards":2,"replicas":64,"seed":7,"files":["a.flat","b.flat"]}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{"version":1,"shards":-3}`))
+	f.Add([]byte(`{"version":2,"vertices":1,"shards":1,"replicas":1,"seed":0,"files":["x"],"replica_addrs":[[]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseManifest accepted a manifest Validate rejects: %v", err)
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted manifest does not re-marshal: %v", err)
+		}
+		m2, err := ParseManifest(b)
+		if err != nil {
+			t.Fatalf("accepted manifest does not round-trip: %v", err)
+		}
+		if m2.Shards != m.Shards || m2.Replicas != m.Replicas || m2.Seed != m.Seed || m2.Vertices != m.Vertices {
+			t.Fatalf("round trip changed ring parameters: %+v vs %+v", m, m2)
+		}
+		// Validation bounded the ring, so building it must be cheap and
+		// must succeed (keep the big ones out of the fuzz hot loop anyway;
+		// divide, not multiply — the product is what overflows).
+		if m.Replicas <= (1<<14)/m.Shards {
+			if _, err := m.Partition(); err != nil {
+				t.Fatalf("accepted manifest has unconstructible ring: %v", err)
+			}
+		}
+	})
+}

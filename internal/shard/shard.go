@@ -153,6 +153,13 @@ const ManifestName = "cluster.json"
 // which every process recomputes the identical Partition) and the
 // per-shard flat index files, stored relative to the manifest's own
 // directory. It is plain JSON so operators can read and audit it.
+//
+// The schema is versioned. Version 1 describes an unreplicated cluster:
+// one file (and, at serving time, one server) per shard. Version 2 adds
+// ReplicaAddrs, letting the manifest also record the serving topology —
+// the base URLs of every replica of every shard — so a router can be
+// pointed at the manifest alone. v1 manifests still load; a v2 manifest
+// without replica addresses is equivalent to a v1 one.
 type Manifest struct {
 	Version  int      `json:"version"`
 	Vertices int      `json:"vertices"`
@@ -164,10 +171,28 @@ type Manifest struct {
 	// informational (the ring is authoritative), for operators and the
 	// splitter's balance report.
 	VertexCounts []int `json:"vertex_counts,omitempty"`
+	// ReplicaAddrs (v2) optionally records the serving topology: one list
+	// of replica base URLs per shard, in shard-id order. Every replica of
+	// a shard serves the same slice file; a router load-balances across
+	// them and fails over when one dies.
+	ReplicaAddrs [][]string `json:"replica_addrs,omitempty"`
 }
 
-// manifestVersion is the current manifest schema version.
-const manifestVersion = 1
+// Manifest schema versions. manifestVersion is what writers emit;
+// readers accept everything down to manifestVersionV1.
+const (
+	manifestVersionV1 = 1
+	manifestVersion   = 2
+)
+
+// Validation bounds: a manifest is a small hand-auditable file, and the
+// ring it describes is materialized in memory (shards × replicas points),
+// so implausible counts are rejected up front — a corrupt or hostile
+// manifest must not demand gigabytes before the first query.
+const (
+	maxShards     = 1 << 16
+	maxRingPoints = 1 << 20
+)
 
 // Partition reconstructs the ring the manifest describes.
 func (m *Manifest) Partition() (*Partition, error) {
@@ -176,23 +201,44 @@ func (m *Manifest) Partition() (*Partition, error) {
 
 // Validate checks the manifest's internal consistency.
 func (m *Manifest) Validate() error {
-	if m.Version != manifestVersion {
-		return fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	if m.Version < manifestVersionV1 || m.Version > manifestVersion {
+		return fmt.Errorf("shard: unsupported manifest version %d (want %d..%d)", m.Version, manifestVersionV1, manifestVersion)
 	}
 	if m.Vertices < 0 {
 		return fmt.Errorf("shard: manifest has negative vertex count %d", m.Vertices)
 	}
-	if m.Shards < 1 {
-		return fmt.Errorf("shard: manifest has %d shards", m.Shards)
+	if m.Shards < 1 || m.Shards > maxShards {
+		return fmt.Errorf("shard: manifest has %d shards (want 1..%d)", m.Shards, maxShards)
 	}
-	if m.Replicas < 1 {
-		return fmt.Errorf("shard: manifest has %d replicas", m.Replicas)
+	// Divide rather than multiply: m.Shards*m.Replicas can overflow int
+	// and wrap below the bound, which is exactly the hostile input the
+	// bound exists for. m.Shards >= 1 was established above.
+	if m.Replicas < 1 || m.Replicas > maxRingPoints/m.Shards {
+		return fmt.Errorf("shard: manifest has %d ring replicas per shard (want 1..%d/shards)", m.Replicas, maxRingPoints)
 	}
 	if len(m.Files) != m.Shards {
 		return fmt.Errorf("shard: manifest lists %d files for %d shards", len(m.Files), m.Shards)
 	}
 	if m.VertexCounts != nil && len(m.VertexCounts) != m.Shards {
 		return fmt.Errorf("shard: manifest lists %d vertex counts for %d shards", len(m.VertexCounts), m.Shards)
+	}
+	if m.ReplicaAddrs != nil {
+		if m.Version < manifestVersion {
+			return fmt.Errorf("shard: replica addresses need manifest version %d, got %d", manifestVersion, m.Version)
+		}
+		if len(m.ReplicaAddrs) != m.Shards {
+			return fmt.Errorf("shard: manifest lists replica addresses for %d shards, want %d", len(m.ReplicaAddrs), m.Shards)
+		}
+		for i, reps := range m.ReplicaAddrs {
+			if len(reps) < 1 {
+				return fmt.Errorf("shard: manifest lists no replica addresses for shard %d", i)
+			}
+			for j, a := range reps {
+				if a == "" {
+					return fmt.Errorf("shard: manifest has an empty address for shard %d replica %d", i, j)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -225,17 +271,28 @@ func WriteManifest(path string, m *Manifest) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// ParseManifest parses and validates a manifest from its JSON bytes —
+// the pure core of ReadManifest, shared with anything that carries a
+// manifest over a wire instead of a file.
+func ParseManifest(b []byte) (*Manifest, error) {
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // ReadManifest reads and validates a manifest written by WriteManifest.
 func ReadManifest(path string) (*Manifest, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	m := &Manifest{}
-	if err := json.Unmarshal(b, m); err != nil {
-		return nil, fmt.Errorf("shard: parsing manifest %s: %w", path, err)
-	}
-	if err := m.Validate(); err != nil {
+	m, err := ParseManifest(b)
+	if err != nil {
 		return nil, fmt.Errorf("shard: manifest %s: %w", path, err)
 	}
 	return m, nil

@@ -129,6 +129,98 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+// A v1 manifest — written before replica addresses existed — must still
+// parse, validate, and reconstruct its ring.
+func TestManifestV1StillLoads(t *testing.T) {
+	v1 := []byte(`{
+		"version": 1,
+		"vertices": 500,
+		"shards": 2,
+		"replicas": 64,
+		"seed": 7,
+		"files": ["shard-000.flat", "shard-001.flat"]
+	}`)
+	m, err := ParseManifest(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 || m.ReplicaAddrs != nil {
+		t.Fatalf("v1 manifest parsed as %+v", m)
+	}
+	if _, err := m.Partition(); err != nil {
+		t.Fatal(err)
+	}
+	// And through the file path.
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := os.WriteFile(path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestV2ReplicaAddrs(t *testing.T) {
+	m, err := NewManifest(100, 2, 64, 1, []string{"a.flat", "b.flat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ReplicaAddrs = [][]string{
+		{"http://a1:8081", "http://a2:8081"},
+		{"http://b1:8082", "http://b2:8082"},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), ManifestName)
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ReplicaAddrs) != 2 || got.ReplicaAddrs[1][1] != "http://b2:8082" {
+		t.Fatalf("replica addresses mangled: %+v", got.ReplicaAddrs)
+	}
+
+	// Replica addresses are a v2 feature; a "v1" manifest carrying them is
+	// corrupt, not forward-compatible.
+	m.Version = 1
+	if err := m.Validate(); err == nil {
+		t.Error("v1 manifest with replica addresses accepted")
+	}
+	m.Version = 2
+	m.ReplicaAddrs = [][]string{{"http://a1:8081"}}
+	if err := m.Validate(); err == nil {
+		t.Error("replica addresses for 1 of 2 shards accepted")
+	}
+	m.ReplicaAddrs = [][]string{{"http://a1:8081"}, {}}
+	if err := m.Validate(); err == nil {
+		t.Error("empty replica group accepted")
+	}
+	m.ReplicaAddrs = [][]string{{"http://a1:8081"}, {""}}
+	if err := m.Validate(); err == nil {
+		t.Error("empty replica address accepted")
+	}
+}
+
+// The validation bounds exist so a hostile manifest cannot demand a
+// gigantic ring allocation before anything touches it.
+func TestManifestRejectsImplausibleRing(t *testing.T) {
+	for _, body := range []string{
+		`{"version":1,"vertices":1,"shards":1000000,"files":[],"replicas":64,"seed":1}`,
+		`{"version":1,"vertices":1,"shards":2,"files":["a","b"],"replicas":1073741824,"seed":1}`,
+		// shards*replicas wraps int64 to a small value; the bound must
+		// divide, not multiply, or this passes and allocates the ring.
+		`{"version":1,"vertices":1,"shards":4,"files":["a","b","c","d"],"replicas":4611686018427387904,"seed":1}`,
+	} {
+		if _, err := ParseManifest([]byte(body)); err == nil {
+			t.Errorf("implausible manifest accepted: %s", body)
+		}
+	}
+}
+
 func TestManifestRejectsBadInputs(t *testing.T) {
 	if _, err := NewManifest(10, 2, 64, 1, []string{"only-one.flat"}); err == nil {
 		t.Error("file/shard count mismatch accepted")

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -39,17 +40,36 @@ import (
 // shards' entry arrays and the join kernels are shared (label.JoinPacked
 // / JoinPackedWith).
 //
-// The router keeps its own sharded LRU answer cache (the PR-2 Cache).
-// Every shard response carries the shard's snapshot identity — its
-// generation plus a per-process epoch, so restarts are as visible as
-// reloads; when any shard's identity advances, the router retires the
-// whole cache — the same "a cache never outlives its index" rule the
-// single-process tier enforces per Snapshot, lifted to the cluster.
+// Each shard may be served by a replica group — several processes over
+// the same slice file (a v2 manifest's replica_addrs, or
+// RouterConfig.ReplicaAddrs). The router load-balances every shard
+// request across the group's healthy replicas with power-of-two-choices
+// on in-flight counts, and fails over: a request that dies on one
+// replica is retried on the next, so a query only fails when every
+// replica of a shard is down. Per-replica health is tracked by
+// consecutive failures — past ejectAfter of them the replica is ejected
+// and sits out a probation window, after which exactly one request is
+// routed to it as a probe (success rejoins it, failure re-ejects it).
+// Ejection only steers; it never turns a reachable replica into a
+// failure: when a whole group is ejected the router still tries them.
 //
-// Failures degrade per shard: a query touching only healthy shards is
-// unaffected, and one touching a failed shard gets a 502 whose JSON body
-// names each failed shard (see ClusterError). Use Health for the
-// per-shard view the /healthz endpoint serves.
+// The router keeps its own sharded LRU answer cache (the PR-2 Cache).
+// Every shard response carries the answering replica's snapshot identity
+// — its generation plus a per-process epoch, so restarts are as visible
+// as reloads; identities are tracked per replica (two replicas of one
+// shard are different processes with different epochs). When any
+// replica's identity advances — it reloaded or restarted, possibly
+// before its siblings — the router retires the whole cache: the same "a
+// cache never outlives its index" rule the single-process tier enforces
+// per Snapshot, lifted to the cluster. A sibling that did not change
+// keeps validating against its own unchanged identity, so its answers
+// re-enter the fresh cache immediately.
+//
+// Failures degrade per shard: a query touching only shards with at least
+// one live replica is unaffected, and one touching a fully-down shard
+// gets a 502 whose JSON body names the shard and each replica's failure
+// (see ClusterError). Use Health for the per-replica view the /healthz
+// endpoint serves.
 type Router struct {
 	n      int
 	part   *shard.Partition
@@ -59,37 +79,46 @@ type Router struct {
 	cacheSize int
 	state     atomic.Pointer[routerState]
 
+	ejectAfter int64
+	probation  time.Duration
+
 	metrics     *httpMetrics
 	queries     atomic.Int64
 	crossJoins  atomic.Int64
+	failovers   atomic.Int64
 	cacheResets atomic.Int64
 	start       time.Time
 
 	scratch sync.Pool // *label.QueryScratch sized n, for cross-shard joins
 }
 
-// routerState pairs the answer cache with the per-shard snapshot
+// routerState pairs the answer cache with the per-replica snapshot
 // identities it was built against. Identity is the (epoch, generation)
-// pair each shard stamps its responses with: generations restart at 1
-// in every process, so the random per-process epoch makes a shard
+// pair each shard replica stamps its responses with: generations restart
+// at 1 in every process, so the random per-process epoch makes a replica
 // restart (possibly over different content) as visible as a reload.
 // Identities are totally ordered — generations within one process, and
-// epochs across processes (a shard's epoch leads with its start time in
+// epochs across processes (an epoch leads with its process start time in
 // milliseconds; see Server) — which lets noteGenerations ignore any
 // stale observation from a request that raced a reload or restart
 // instead of mistaking it for another change. (0,0) means "not yet
-// observed". The state is swapped atomically whenever a shard's
+// observed". The state is swapped atomically whenever a replica's
 // identity advances, so answers computed against a retired snapshot
 // can never enter the live cache.
 type routerState struct {
-	epochs []uint64
-	gens   []uint64
+	idents [][]genObs // [shard][replica]
 	cache  *Cache
 }
 
-// genObs is one observed shard snapshot identity.
+// genObs is one observed snapshot identity.
 type genObs struct {
 	epoch, gen uint64
+}
+
+// repRef names one replica of one shard — the key identity observations
+// are tracked under.
+type repRef struct {
+	shard, rep int
 }
 
 // errNotShardBackend rejects a 200 response without a snapshot identity:
@@ -99,15 +128,35 @@ type genObs struct {
 // beats silent staleness.
 var errNotShardBackend = errors.New("backend did not stamp a snapshot identity — is it a shard server (started with -manifest and -shard)?")
 
-// shardClient tracks one shard server.
-type shardClient struct {
-	id       int
-	addr     string // base URL, no trailing slash
-	requests atomic.Int64
-	errors   atomic.Int64
-	lastGen  atomic.Uint64 // last generation the shard reported, for /stats
-	mu       sync.Mutex
-	lastErr  string
+// Replica health states.
+const (
+	replicaHealthy = int32(iota)
+	replicaEjected
+)
+
+// replica tracks one serving process of one shard's replica group.
+type replica struct {
+	shard int
+	id    int
+	addr  string // base URL, no trailing slash
+
+	inflight  atomic.Int64 // requests currently outstanding (p2c load signal)
+	requests  atomic.Int64
+	errors    atomic.Int64
+	ejections atomic.Int64
+
+	// Ejection state machine: consecFails counts consecutive failures;
+	// at ejectAfter the replica is ejected and retryAt names the end of
+	// its probation, after which one request (the probing-flag holder)
+	// probes it — success rejoins, failure re-ejects for another window.
+	consecFails atomic.Int64
+	state       atomic.Int32
+	retryAt     atomic.Int64 // unix nanos; valid while ejected
+	probing     atomic.Bool
+
+	lastGen atomic.Uint64 // last generation this replica reported, for /stats
+	mu      sync.Mutex
+	lastErr string
 
 	// Clock-step self-heal (see noteGenerations): an epoch older than
 	// the adopted one is normally a delayed response from a dead
@@ -124,19 +173,139 @@ type shardClient struct {
 // clock step at restart) rather than stragglers from a dead one.
 const staleAdoptThreshold = 3
 
-func (c *shardClient) fail(err error) *ShardError {
-	c.errors.Add(1)
-	c.mu.Lock()
-	c.lastErr = err.Error()
-	c.mu.Unlock()
-	return &ShardError{Shard: c.id, Addr: c.addr, Err: err}
+func (rep *replica) setErr(err error) {
+	rep.mu.Lock()
+	rep.lastErr = err.Error()
+	rep.mu.Unlock()
 }
 
-// ShardError reports a failed request to one shard.
+// succeed records a completed request: the replica is healthy, whatever
+// its state said, and any probe it was holding is done.
+func (rep *replica) succeed() {
+	rep.consecFails.Store(0)
+	rep.state.Store(replicaHealthy)
+	rep.probing.Store(false)
+	rep.mu.Lock()
+	rep.lastErr = ""
+	rep.mu.Unlock()
+}
+
+// fail records a replica-level failure (transport error or 5xx): it
+// counts toward ejection, and a failure while ejected — a probe, or a
+// desperation attempt with every sibling down — pushes the next probe a
+// full probation window out.
+func (rep *replica) fail(err error, ejectAfter int64, probation time.Duration) {
+	rep.errors.Add(1)
+	rep.setErr(err)
+	fails := rep.consecFails.Add(1)
+	if rep.state.Load() == replicaEjected {
+		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+		rep.probing.Store(false)
+		return
+	}
+	if fails >= ejectAfter && rep.state.CompareAndSwap(replicaHealthy, replicaEjected) {
+		rep.ejections.Add(1)
+		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+	}
+}
+
+// terminalFail records a request-level failure — a 4xx or a malformed
+// payload. It counts as an error but not toward ejection (the transport
+// worked; a sibling would answer the same). An ejected replica whose
+// probe ends here must release the probe flag and wait out another
+// probation window: the probe proved the process answers, but not that
+// it serves — and a held flag would lock the replica out of re-probing
+// forever.
+func (rep *replica) terminalFail(err error, probation time.Duration) {
+	rep.errors.Add(1)
+	rep.setErr(err)
+	if rep.state.Load() == replicaEjected {
+		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+		rep.probing.Store(false)
+	}
+}
+
+// shardClient is one shard's replica group.
+type shardClient struct {
+	id   int
+	reps []*replica
+}
+
+func (c *shardClient) addrList() string {
+	addrs := make([]string, len(c.reps))
+	for i, rep := range c.reps {
+		addrs[i] = rep.addr
+	}
+	return strings.Join(addrs, ",")
+}
+
+// pick chooses the next replica to try for one request, skipping those
+// already tried by this request's earlier attempts. Selection order:
+//
+//  1. An ejected replica whose probation has expired, if this request
+//     wins the probe flag — exactly one in-flight request probes a
+//     recovering replica, everyone else keeps using its siblings.
+//  2. A healthy replica, by power-of-two-choices on in-flight counts:
+//     two random candidates, the less loaded one wins. Random pairing
+//     keeps a slow replica from capturing all traffic decisions; the
+//     in-flight comparison steers around it.
+//  3. Desperation: every untried replica is ejected (probation pending
+//     or probe held elsewhere). Try the least loaded anyway — ejection
+//     must steer traffic, never fail a query a live replica could have
+//     answered.
+//
+// Returns nil once every replica has been tried.
+func (c *shardClient) pick(tried []bool) *replica {
+	now := time.Now().UnixNano()
+	for _, rep := range c.reps {
+		if tried[rep.id] || rep.state.Load() != replicaEjected {
+			continue
+		}
+		if now >= rep.retryAt.Load() && rep.probing.CompareAndSwap(false, true) {
+			return rep
+		}
+	}
+	var healthy []*replica
+	for _, rep := range c.reps {
+		if !tried[rep.id] && rep.state.Load() == replicaHealthy {
+			healthy = append(healthy, rep)
+		}
+	}
+	switch len(healthy) {
+	case 0:
+	case 1:
+		return healthy[0]
+	default:
+		i := rand.Intn(len(healthy))
+		j := rand.Intn(len(healthy) - 1)
+		if j >= i {
+			j++
+		}
+		if healthy[j].inflight.Load() < healthy[i].inflight.Load() {
+			return healthy[j]
+		}
+		return healthy[i]
+	}
+	var best *replica
+	for _, rep := range c.reps {
+		if tried[rep.id] {
+			continue
+		}
+		if best == nil || rep.inflight.Load() < best.inflight.Load() {
+			best = rep
+		}
+	}
+	return best
+}
+
+// ShardError reports a failed request to one shard. Replica names the
+// replica that produced a request-level error, or -1 when the whole
+// replica group failed (Err then lists each replica's failure).
 type ShardError struct {
-	Shard int
-	Addr  string
-	Err   error
+	Shard   int
+	Replica int
+	Addr    string
+	Err     error
 }
 
 func (e *ShardError) Error() string {
@@ -147,7 +316,8 @@ func (e *ShardError) Unwrap() error { return e.Err }
 
 // ClusterError aggregates the shard failures of one routed request — the
 // partial-failure error body: shards not listed answered fine, but the
-// request needed the listed ones.
+// request needed the listed ones, and every replica of each listed shard
+// failed.
 type ClusterError struct {
 	Failed []*ShardError
 }
@@ -175,12 +345,24 @@ type RouterConfig struct {
 	// Manifest describes the cluster (vertex count and ring); usually
 	// shard.ReadManifest of the splitter's cluster.json.
 	Manifest *shard.Manifest
-	// Addrs are the shard servers' base URLs, indexed by shard id.
+	// Addrs are the shard servers' base URLs, indexed by shard id — the
+	// unreplicated form, equivalent to one-element replica groups.
 	Addrs []string
+	// ReplicaAddrs are the per-shard replica groups, indexed by shard id:
+	// every address in group i serves shard i's slice file. Takes
+	// precedence over Addrs; when both are empty the manifest's
+	// replica_addrs (v2) are used.
+	ReplicaAddrs [][]string
 	// CacheSize bounds the router's answer cache; <= 0 disables it.
 	CacheSize int
 	// Timeout bounds each shard request (default 5s).
 	Timeout time.Duration
+	// EjectAfter is how many consecutive failures eject a replica from
+	// rotation (default 3).
+	EjectAfter int
+	// Probation is how long an ejected replica sits out before the
+	// router probes it with one request (default 2s).
+	Probation time.Duration
 	// Client overrides the HTTP client (tests, custom transports);
 	// Timeout is ignored when set.
 	Client *http.Client
@@ -196,8 +378,21 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err := cfg.Manifest.Validate(); err != nil {
 		return nil, err
 	}
-	if len(cfg.Addrs) != cfg.Manifest.Shards {
-		return nil, fmt.Errorf("chl: manifest has %d shards but %d addresses given", cfg.Manifest.Shards, len(cfg.Addrs))
+	groups := cfg.ReplicaAddrs
+	if groups == nil && len(cfg.Addrs) > 0 {
+		groups = make([][]string, len(cfg.Addrs))
+		for i, a := range cfg.Addrs {
+			groups[i] = []string{a}
+		}
+	}
+	if groups == nil {
+		groups = cfg.Manifest.ReplicaAddrs
+	}
+	if groups == nil {
+		return nil, fmt.Errorf("chl: router needs shard addresses: Addrs, ReplicaAddrs, or a v2 manifest with replica_addrs")
+	}
+	if len(groups) != cfg.Manifest.Shards {
+		return nil, fmt.Errorf("chl: manifest has %d shards but %d address groups given", cfg.Manifest.Shards, len(groups))
 	}
 	part, err := cfg.Manifest.Partition()
 	if err != nil {
@@ -211,20 +406,41 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		}
 		client = &http.Client{Timeout: timeout}
 	}
-	r := &Router{
-		n:         cfg.Manifest.Vertices,
-		part:      part,
-		client:    client,
-		cacheSize: cfg.CacheSize,
-		metrics:   newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
-		start:     time.Now(),
+	ejectAfter := int64(cfg.EjectAfter)
+	if ejectAfter <= 0 {
+		ejectAfter = 3
 	}
-	for i, a := range cfg.Addrs {
-		r.shards = append(r.shards, &shardClient{id: i, addr: strings.TrimRight(a, "/")})
+	probation := cfg.Probation
+	if probation <= 0 {
+		probation = 2 * time.Second
+	}
+	r := &Router{
+		n:          cfg.Manifest.Vertices,
+		part:       part,
+		client:     client,
+		cacheSize:  cfg.CacheSize,
+		ejectAfter: ejectAfter,
+		probation:  probation,
+		metrics:    newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
+		start:      time.Now(),
+	}
+	idents := make([][]genObs, len(groups))
+	for i, group := range groups {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("chl: shard %d has an empty replica group", i)
+		}
+		c := &shardClient{id: i}
+		for j, a := range group {
+			if a == "" {
+				return nil, fmt.Errorf("chl: shard %d replica %d has an empty address", i, j)
+			}
+			c.reps = append(c.reps, &replica{shard: i, id: j, addr: strings.TrimRight(a, "/")})
+		}
+		r.shards = append(r.shards, c)
+		idents[i] = make([]genObs, len(group))
 	}
 	r.state.Store(&routerState{
-		epochs: make([]uint64, len(r.shards)),
-		gens:   make([]uint64, len(r.shards)),
+		idents: idents,
 		cache:  NewCache(cfg.CacheSize),
 	})
 	r.scratch.New = func() any { return label.NewQueryScratch(r.n) }
@@ -271,7 +487,7 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 	}
 	r.queries.Add(1)
 	su, sv := r.part.Owner(u), r.part.Owner(v)
-	obs := map[int]genObs{}
+	obs := map[repRef]genObs{}
 	if su == sv {
 		dist, hub, ok, err = r.fetchDist(su, u, v, obs)
 	} else {
@@ -289,7 +505,8 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 // are forwarded whole, one sub-batch per shard; cross-shard pairs are
 // answered by fetching each involved vertex's label row once per shard
 // and hub-joining at the router. All shard traffic for a batch runs
-// concurrently.
+// concurrently; each shard request load-balances and fails over within
+// the shard's replica group independently.
 func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 	dists := make([]float64, len(pairs))
 	st := r.state.Load()
@@ -341,25 +558,27 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		fails    []*ShardError
-		rows     = map[int][]uint64{} // vertex -> decoded packed run
-		obs      = map[int]genObs{}   // shard -> observed snapshot identity
-		conflict bool                 // one shard answered under two identities
+		rows     = map[int][]uint64{}  // vertex -> decoded packed run
+		obs      = map[repRef]genObs{} // replica -> observed snapshot identity
+		conflict bool                  // one replica answered under two identities
 	)
-	observe := func(sid int, o genObs, err *ShardError) {
+	observe := func(k repRef, o genObs, err *ShardError) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
 			fails = append(fails, err)
 			return
 		}
-		// A batch may hit the same shard twice (direct sub-batch + row
+		// A batch may hit the same replica twice (direct sub-batch + row
 		// fetch). If a reload lands between the two responses, part of
 		// this batch was computed on the retired snapshot, and no single
-		// identity can vouch for all of its answers — skip caching.
-		if prev, seen := obs[sid]; seen && prev != o {
+		// identity can vouch for all of its answers — skip caching. Two
+		// *different* replicas of one shard answering is not a conflict:
+		// each identity is validated on its own.
+		if prev, seen := obs[k]; seen && prev != o {
 			conflict = true
 		}
-		obs[sid] = o
+		obs[k] = o
 	}
 	for sid, idxs := range direct {
 		wg.Add(1)
@@ -369,15 +588,15 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 			for k, i := range idxs {
 				sub[k] = pairs[i]
 			}
-			ds, o, err := r.fetchBatch(sid, sub)
+			ds, rep, o, err := r.fetchBatch(sid, sub)
 			if err != nil {
-				observe(sid, genObs{}, err)
+				observe(repRef{}, genObs{}, err)
 				return
 			}
 			for k, i := range idxs {
 				dists[i] = ds[k]
 			}
-			observe(sid, o, nil)
+			observe(repRef{sid, rep.id}, o, nil)
 		}(sid, idxs)
 	}
 	for sid, verts := range needed {
@@ -389,9 +608,9 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 				vs = append(vs, v)
 			}
 			sort.Ints(vs)
-			got, o, err := r.fetchRows(sid, vs)
+			got, rep, o, err := r.fetchRows(sid, vs)
 			if err != nil {
-				observe(sid, genObs{}, err)
+				observe(repRef{}, genObs{}, err)
 				return
 			}
 			mu.Lock()
@@ -399,7 +618,7 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 				rows[v] = run
 			}
 			mu.Unlock()
-			observe(sid, o, nil)
+			observe(repRef{sid, rep.id}, o, nil)
 		}(sid, verts)
 	}
 	wg.Wait()
@@ -436,7 +655,7 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 
 	// Populate the cache (hub unknown on this path — /batch never needs
 	// witnesses; QueryHub will recompute and upgrade the entry). A batch
-	// that observed one shard under two identities raced a reload: its
+	// that observed one replica under two identities raced a reload: its
 	// answers are correct for the snapshots that computed them but not
 	// attributable to a single identity, so they are not cached. The
 	// identity validation runs once for the whole batch, then the
@@ -455,12 +674,12 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 // cacheValid folds the observations into the router state and reports
 // whether answers computed under them may enter st's cache: the cache
 // instance the request started with must still be the live one, and
-// every shard identity observed while computing must match the live
-// state — an answer that raced a shard reload is simply not cached.
+// every replica identity observed while computing must match the live
+// state — an answer that raced a replica reload is simply not cached.
 // First observations (which adopt identities into the state but keep
 // the cache instance) therefore do not lose their answers. The check is
 // per request, not per answer: callers validate once and Put in bulk.
-func (r *Router) cacheValid(st *routerState, obs map[int]genObs) bool {
+func (r *Router) cacheValid(st *routerState, obs map[repRef]genObs) bool {
 	r.noteGenerations(obs)
 	if st.cache == nil {
 		return false
@@ -469,8 +688,8 @@ func (r *Router) cacheValid(st *routerState, obs map[int]genObs) bool {
 	if cur.cache != st.cache {
 		return false // cache retired by an observed reload/restart
 	}
-	for sid, o := range obs {
-		if cur.epochs[sid] != o.epoch || cur.gens[sid] != o.gen {
+	for k, o := range obs {
+		if cur.idents[k.shard][k.rep] != o {
 			return false
 		}
 	}
@@ -478,13 +697,13 @@ func (r *Router) cacheValid(st *routerState, obs map[int]genObs) bool {
 }
 
 // cachePut is cacheValid plus one insertion — the single-query path.
-func (r *Router) cachePut(st *routerState, obs map[int]genObs, u, v int, a Answer) {
+func (r *Router) cachePut(st *routerState, obs map[repRef]genObs, u, v int, a Answer) {
 	if r.cacheValid(st, obs) {
 		st.cache.Put(u, v, a)
 	}
 }
 
-// noteGenerations folds freshly observed shard snapshot identities into
+// noteGenerations folds freshly observed replica snapshot identities into
 // the router state. First observations are adopted, keeping the current
 // cache; an advance — a reload (same epoch, higher generation) or a
 // restart (new epoch) — swaps in a fresh state with an empty cache, the
@@ -492,27 +711,29 @@ func (r *Router) cachePut(st *routerState, obs map[int]genObs, u, v int, a Answe
 // observation (same epoch, generation at or below the known one — a
 // slow response that started before a reload) is ignored rather than
 // treated as another change, so a reload under concurrent traffic
-// retires the cache exactly once.
-func (r *Router) noteGenerations(obs map[int]genObs) {
+// retires the cache exactly once. Identities are per replica: a replica
+// that reloads before its siblings retires the cache once, without
+// making the unchanged siblings look stale.
+func (r *Router) noteGenerations(obs map[repRef]genObs) {
 	// Clock-step pre-pass, once per call (not per CAS retry): count
 	// consecutive sightings of the same older epoch; past the threshold
 	// it is the live process answering under a stepped-back clock, and
-	// must be adopted or the shard would be ignored forever.
-	adoptStale := map[int]bool{}
+	// must be adopted or the replica would be ignored forever.
+	adoptStale := map[repRef]bool{}
 	if pre := r.state.Load(); pre != nil {
-		for sid, o := range obs {
-			E := pre.epochs[sid]
+		for k, o := range obs {
+			E := pre.idents[k.shard][k.rep].epoch
 			if o.gen == 0 || E == 0 || o.epoch >= E {
 				continue
 			}
-			c := r.shards[sid]
-			if c.staleEpoch.Swap(o.epoch) == o.epoch {
-				if c.staleSeen.Add(1) >= staleAdoptThreshold {
-					adoptStale[sid] = true
-					c.staleSeen.Store(0)
+			rep := r.shards[k.shard].reps[k.rep]
+			if rep.staleEpoch.Swap(o.epoch) == o.epoch {
+				if rep.staleSeen.Add(1) >= staleAdoptThreshold {
+					adoptStale[k] = true
+					rep.staleSeen.Store(0)
 				}
 			} else {
-				c.staleSeen.Store(1)
+				rep.staleSeen.Store(1)
 			}
 		}
 	}
@@ -520,28 +741,28 @@ func (r *Router) noteGenerations(obs map[int]genObs) {
 		st := r.state.Load()
 		changed := false
 		adopted := false
-		apply := func(sid int, o genObs) bool {
-			E, G := st.epochs[sid], st.gens[sid]
+		apply := func(k repRef, o genObs) bool {
+			cur := st.idents[k.shard][k.rep]
 			switch {
 			case o.gen == 0: // no observation
 				return false
-			case E == 0 && G == 0: // first sighting of this shard
+			case cur == genObs{}: // first sighting of this replica
 				return true
-			case o.epoch == E: // same process: generations are ordered
-				return o.gen > G
+			case o.epoch == cur.epoch: // same process: generations are ordered
+				return o.gen > cur.gen
 			default:
 				// Epochs lead with process start time: a larger one is a
 				// restart, a smaller one a delayed response from a dead
 				// process, which must not regress the state — unless it
 				// keeps answering (clock step; see adoptStale).
-				return o.epoch > E || adoptStale[sid]
+				return o.epoch > cur.epoch || adoptStale[k]
 			}
 		}
-		for sid, o := range obs {
-			if !apply(sid, o) {
+		for k, o := range obs {
+			if !apply(k, o) {
 				continue
 			}
-			if st.epochs[sid] == 0 && st.gens[sid] == 0 {
+			if (st.idents[k.shard][k.rep] == genObs{}) {
 				adopted = true
 			} else {
 				changed = true
@@ -551,13 +772,15 @@ func (r *Router) noteGenerations(obs map[int]genObs) {
 			return
 		}
 		next := &routerState{
-			epochs: append([]uint64(nil), st.epochs...),
-			gens:   append([]uint64(nil), st.gens...),
+			idents: make([][]genObs, len(st.idents)),
 			cache:  st.cache,
 		}
-		for sid, o := range obs {
-			if apply(sid, o) {
-				next.epochs[sid], next.gens[sid] = o.epoch, o.gen
+		for i, group := range st.idents {
+			next.idents[i] = append([]genObs(nil), group...)
+		}
+		for k, o := range obs {
+			if apply(k, o) {
+				next.idents[k.shard][k.rep] = o
 			}
 		}
 		if changed {
@@ -574,56 +797,142 @@ func (r *Router) noteGenerations(obs map[int]genObs) {
 
 // --- shard protocol clients ---
 
-// getJSON GETs path on a shard and decodes the response body into out.
-// Non-2xx responses surface the shard's JSON error string.
-func (r *Router) getJSON(c *shardClient, path string, out any) *ShardError {
-	c.requests.Add(1)
-	resp, err := r.client.Get(c.addr + path)
-	if err != nil {
-		return c.fail(err)
-	}
-	defer resp.Body.Close()
-	return r.decodeShardResponse(c, resp, out)
+// terminalError marks a request-level failure — a 4xx or a payload the
+// router cannot use. Retrying a sibling replica would produce the same
+// answer, so withReplica fails the request instead of failing over.
+type terminalError struct {
+	err error
 }
 
-// postJSON POSTs a JSON body to path on a shard.
-func (r *Router) postJSON(c *shardClient, path string, body, out any) *ShardError {
-	c.requests.Add(1)
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// terminalErr folds a request-level failure into rep's health state (see
+// replica.terminalFail) and wraps it for the caller. Also used after a
+// successful round trip whose payload turns out unusable (missing rows,
+// vertex-space mismatch) — the accounting is the same.
+func (r *Router) terminalErr(rep *replica, err error) *ShardError {
+	rep.terminalFail(err, r.probation)
+	return &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}
+}
+
+// tryReplica runs one request attempt against rep with the full health
+// accounting every caller must agree on: request/in-flight counters
+// around call, success resetting the ejection state and releasing any
+// held probe, a terminal failure counted without feeding ejection (but
+// still releasing the probe — terminalFail), and a replica-level
+// failure feeding the ejection/probation machinery. terminal reports
+// which kind of failure occurred: terminal ones must not be retried on
+// a sibling.
+func (r *Router) tryReplica(rep *replica, call func(rep *replica) error) (serr *ShardError, terminal bool) {
+	rep.requests.Add(1)
+	rep.inflight.Add(1)
+	err := call(rep)
+	rep.inflight.Add(-1)
+	if err == nil {
+		rep.succeed()
+		return nil, false
+	}
+	var term *terminalError
+	if errors.As(err, &term) {
+		return r.terminalErr(rep, term.err), true
+	}
+	rep.fail(err, r.ejectAfter, r.probation)
+	return &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}, false
+}
+
+// withReplica runs one logical shard request against shard sid's replica
+// group: pick a replica (see shardClient.pick), run call against it, and
+// on a replica-level failure fail over to the next untried replica. The
+// request fails only when every replica failed (one ShardError listing
+// each attempt) or a replica produced a terminal error.
+func (r *Router) withReplica(sid int, call func(rep *replica) error) (*replica, *ShardError) {
+	c := r.shards[sid]
+	tried := make([]bool, len(c.reps))
+	var attempts []string
+	for try := 0; try < len(c.reps); try++ {
+		rep := c.pick(tried)
+		if rep == nil {
+			break
+		}
+		if try > 0 {
+			r.failovers.Add(1)
+		}
+		tried[rep.id] = true
+		serr, terminal := r.tryReplica(rep, call)
+		if serr == nil {
+			return rep, nil
+		}
+		if terminal {
+			return nil, serr
+		}
+		attempts = append(attempts, fmt.Sprintf("replica %d (%s): %v", rep.id, rep.addr, serr.Err))
+	}
+	return nil, &ShardError{
+		Shard: sid, Replica: -1, Addr: c.addrList(),
+		Err: fmt.Errorf("all %d replicas failed: %s", len(c.reps), strings.Join(attempts, "; ")),
+	}
+}
+
+// getJSON GETs path on one replica of shard sid (with failover) and
+// decodes the response body into out, returning the replica that
+// answered.
+func (r *Router) getJSON(sid int, path string, out any) (*replica, *ShardError) {
+	return r.withReplica(sid, func(rep *replica) error {
+		resp, err := r.client.Get(rep.addr + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return decodeReplicaResponse(resp, out)
+	})
+}
+
+// postJSON POSTs a JSON body to path on one replica of shard sid (with
+// failover), returning the replica that answered.
+func (r *Router) postJSON(sid int, path string, body, out any) (*replica, *ShardError) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return c.fail(err)
+		return nil, &ShardError{Shard: sid, Replica: -1, Addr: r.shards[sid].addrList(), Err: err}
 	}
-	resp, err := r.client.Post(c.addr+path, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return c.fail(err)
-	}
-	defer resp.Body.Close()
-	return r.decodeShardResponse(c, resp, out)
+	return r.withReplica(sid, func(rep *replica) error {
+		resp, err := r.client.Post(rep.addr+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		return decodeReplicaResponse(resp, out)
+	})
 }
 
-func (r *Router) decodeShardResponse(c *shardClient, resp *http.Response, out any) *ShardError {
+// decodeReplicaResponse turns one replica's HTTP response into out or an
+// error: 4xx is terminal (the request is wrong — a sibling would say the
+// same), everything else — 5xx, undecodable bodies — is a replica
+// failure the caller may retry elsewhere.
+func decodeReplicaResponse(resp *http.Response, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var eb struct {
 			Error string `json:"error"`
 		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 		if json.Unmarshal(msg, &eb) == nil && eb.Error != "" {
-			return c.fail(fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error))
+			err = fmt.Errorf("status %d: %s", resp.StatusCode, eb.Error)
 		}
-		return c.fail(fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return &terminalError{err: err}
+		}
+		return err
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return c.fail(fmt.Errorf("undecodable response: %w", err))
+		return fmt.Errorf("undecodable response: %w", err)
 	}
-	c.mu.Lock()
-	c.lastErr = ""
-	c.mu.Unlock()
 	return nil
 }
 
 // fetchDist forwards a same-shard query whole; the shard answers from its
 // local runs and cache, witness hub included.
-func (r *Router) fetchDist(sid, u, v int, obs map[int]genObs) (float64, int, bool, error) {
+func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, bool, error) {
 	var resp struct {
 		Reachable  bool    `json:"reachable"`
 		Dist       float64 `json:"dist"`
@@ -631,15 +940,15 @@ func (r *Router) fetchDist(sid, u, v int, obs map[int]genObs) (float64, int, boo
 		Generation uint64  `json:"generation"`
 		Epoch      uint64  `json:"epoch"`
 	}
-	c := r.shards[sid]
-	if err := r.getJSON(c, fmt.Sprintf("/dist?u=%d&v=%d", u, v), &resp); err != nil {
-		return 0, 0, false, &ClusterError{Failed: []*ShardError{err}}
+	rep, serr := r.getJSON(sid, fmt.Sprintf("/dist?u=%d&v=%d", u, v), &resp)
+	if serr != nil {
+		return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
 	}
 	if resp.Generation == 0 {
-		return 0, 0, false, &ClusterError{Failed: []*ShardError{c.fail(errNotShardBackend)}}
+		return 0, 0, false, &ClusterError{Failed: []*ShardError{r.terminalErr(rep, errNotShardBackend)}}
 	}
-	c.lastGen.Store(resp.Generation)
-	obs[sid] = genObs{epoch: resp.Epoch, gen: resp.Generation}
+	rep.lastGen.Store(resp.Generation)
+	obs[repRef{sid, rep.id}] = genObs{epoch: resp.Epoch, gen: resp.Generation}
 	if !resp.Reachable {
 		return Infinity, 0, false, nil
 	}
@@ -648,7 +957,7 @@ func (r *Router) fetchDist(sid, u, v int, obs map[int]genObs) (float64, int, boo
 
 // fetchBatch forwards a same-shard sub-batch, translating the wire's -1
 // back to Infinity.
-func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, genObs, *ShardError) {
+func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, genObs, *ShardError) {
 	body := make([][2]int, len(pairs))
 	for i, p := range pairs {
 		body[i] = [2]int{p.U, p.V}
@@ -658,73 +967,87 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, genObs, *Sha
 		Generation uint64    `json:"generation"`
 		Epoch      uint64    `json:"epoch"`
 	}
-	c := r.shards[sid]
-	if err := r.postJSON(c, "/batch", body, &resp); err != nil {
-		return nil, genObs{}, err
+	rep, serr := r.postJSON(sid, "/batch", body, &resp)
+	if serr != nil {
+		return nil, nil, genObs{}, serr
 	}
 	if len(resp.Dists) != len(pairs) {
-		return nil, genObs{}, c.fail(fmt.Errorf("batch of %d pairs answered with %d distances", len(pairs), len(resp.Dists)))
+		return nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("batch of %d pairs answered with %d distances", len(pairs), len(resp.Dists)))
 	}
 	if resp.Generation == 0 {
-		return nil, genObs{}, c.fail(errNotShardBackend)
+		return nil, nil, genObs{}, r.terminalErr(rep, errNotShardBackend)
 	}
 	for i, d := range resp.Dists {
 		if d == -1 {
 			resp.Dists[i] = Infinity
 		}
 	}
-	c.lastGen.Store(resp.Generation)
-	return resp.Dists, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	rep.lastGen.Store(resp.Generation)
+	return resp.Dists, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
 }
 
 // fetchRows fetches and validates the packed label rows of vs from shard
-// sid.
-func (r *Router) fetchRows(sid int, vs []int) (map[int][]uint64, genObs, *ShardError) {
+// sid, returning the replica that served them (witness-rank resolution
+// must go back to that exact process; see crossQueryHub).
+func (r *Router) fetchRows(sid int, vs []int) (map[int][]uint64, *replica, genObs, *ShardError) {
 	var resp shardQueryResponse
-	c := r.shards[sid]
-	if err := r.postJSON(c, "/shardquery", shardQueryRequest{Vertices: vs}, &resp); err != nil {
-		return nil, genObs{}, err
+	rep, serr := r.postJSON(sid, "/shardquery", shardQueryRequest{Vertices: vs}, &resp)
+	if serr != nil {
+		return nil, nil, genObs{}, serr
 	}
 	if resp.Generation == 0 {
-		return nil, genObs{}, c.fail(errNotShardBackend)
+		return nil, nil, genObs{}, r.terminalErr(rep, errNotShardBackend)
 	}
 	// A shard serving a file over the wrong vertex space (manifest drift)
 	// must be a loud error, not silently wrong joins.
 	if resp.Vertices != r.n {
-		return nil, genObs{}, c.fail(fmt.Errorf("shard serves %d vertices but the manifest says %d — mismatched index files?", resp.Vertices, r.n))
+		return nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("shard serves %d vertices but the manifest says %d — mismatched index files?", resp.Vertices, r.n))
 	}
 	rows := make(map[int][]uint64, len(vs))
 	for _, v := range vs {
 		enc, found := resp.Rows[strconv.Itoa(v)]
 		if !found {
-			return nil, genObs{}, c.fail(fmt.Errorf("row for vertex %d missing from response", v))
+			return nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("row for vertex %d missing from response", v))
 		}
 		run, err := decodePackedRun(enc, r.n)
 		if err != nil {
-			return nil, genObs{}, c.fail(err)
+			return nil, nil, genObs{}, r.terminalErr(rep, err)
 		}
 		rows[v] = run
 	}
-	c.lastGen.Store(resp.Generation)
-	return rows, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	rep.lastGen.Store(resp.Generation)
+	return rows, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
 }
 
-// resolveRank translates a rank-space hub to its original vertex id via
-// any shard holding the (global) permutation — shard sid is used since a
-// request to it is already warm. The shard's snapshot identity is
+// resolveRankOn translates a rank-space hub to its original vertex id on
+// one specific replica — the one whose snapshot produced the rank. No
+// load balancing and no failover: a sibling replica is a different
+// process whose identity can never match the row's, and a rebuilt index
+// may permute ranks differently. The replica's snapshot identity is
 // returned so the caller can verify the resolution used the same
 // snapshot the rank came from.
-func (r *Router) resolveRank(sid int, rank int) (int, genObs, *ShardError) {
+func (r *Router) resolveRankOn(rep *replica, rank int) (int, genObs, *ShardError) {
+	b, err := json.Marshal(shardQueryRequest{Resolve: []int{rank}})
+	if err != nil {
+		return 0, genObs{}, &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}
+	}
 	var resp shardQueryResponse
-	c := r.shards[sid]
-	if err := r.postJSON(c, "/shardquery", shardQueryRequest{Resolve: []int{rank}}, &resp); err != nil {
-		return 0, genObs{}, err
+	serr, _ := r.tryReplica(rep, func(rep *replica) error {
+		hresp, err := r.client.Post(rep.addr+"/shardquery", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer hresp.Body.Close()
+		return decodeReplicaResponse(hresp, &resp)
+	})
+	if serr != nil {
+		return 0, genObs{}, serr
 	}
 	orig, found := resp.Resolved[strconv.Itoa(rank)]
 	if !found {
-		return 0, genObs{}, c.fail(fmt.Errorf("rank %d missing from resolution response", rank))
+		return 0, genObs{}, r.terminalErr(rep, fmt.Errorf("rank %d missing from resolution response", rank))
 	}
-	c.lastGen.Store(resp.Generation)
+	rep.lastGen.Store(resp.Generation)
 	return orig, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
 }
 
@@ -732,12 +1055,16 @@ func (r *Router) resolveRank(sid int, rank int) (int, genObs, *ShardError) {
 // concurrently, join locally and — when the caller needs the witness —
 // resolve the winning rank to an original id. The witness rank is
 // meaningful only in the permutation of the snapshot the rows came
-// from, so a resolution that lands on a different snapshot (the shard
+// from, so the resolution is pinned to the replica that served u's row,
+// and a resolution that lands on a different snapshot (that replica
 // hot-swapped between the two requests — a rebuilt index may permute
 // ranks differently) is retried from the row fetch; queries never block
-// a reload, they just redo the work. With needHub=false the resolution
-// (and with it the retry loop) is skipped and the hub is hubUnknown.
-func (r *Router) crossQueryHub(su, sv, u, v int, obs map[int]genObs, needHub bool) (float64, int, bool, error) {
+// a reload, they just redo the work. A resolution whose pinned replica
+// died retries the same way — the refetched row comes from a sibling,
+// which then serves the resolution too. With needHub=false the
+// resolution (and with it the retry loop) is skipped and the hub is
+// hubUnknown.
+func (r *Router) crossQueryHub(su, sv, u, v int, obs map[repRef]genObs, needHub bool) (float64, int, bool, error) {
 	const attempts = 3
 	var lastErr error
 	for try := 0; try < attempts; try++ {
@@ -747,11 +1074,14 @@ func (r *Router) crossQueryHub(su, sv, u, v int, obs map[int]genObs, needHub boo
 			fails []*ShardError
 			rowU  []uint64
 			rowV  []uint64
+			repU  *replica
+			repV  *replica
 			obsU  genObs
+			obsV  genObs
 		)
-		fetch := func(sid, vertex int, dst *[]uint64, rowObs *genObs) {
+		fetch := func(sid, vertex int, dst *[]uint64, dstRep **replica, rowObs *genObs) {
 			defer wg.Done()
-			rows, o, err := r.fetchRows(sid, []int{vertex})
+			rows, rep, o, err := r.fetchRows(sid, []int{vertex})
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -759,13 +1089,13 @@ func (r *Router) crossQueryHub(su, sv, u, v int, obs map[int]genObs, needHub boo
 				return
 			}
 			*dst = rows[vertex]
+			*dstRep = rep
 			*rowObs = o
-			obs[sid] = o
+			obs[repRef{sid, rep.id}] = o
 		}
-		var obsV genObs
 		wg.Add(2)
-		go fetch(su, u, &rowU, &obsU)
-		go fetch(sv, v, &rowV, &obsV)
+		go fetch(su, u, &rowU, &repU, &obsU)
+		go fetch(sv, v, &rowV, &repV, &obsV)
 		wg.Wait()
 		if len(fails) > 0 {
 			sort.Slice(fails, func(i, j int) bool { return fails[i].Shard < fails[j].Shard })
@@ -779,71 +1109,137 @@ func (r *Router) crossQueryHub(su, sv, u, v int, obs map[int]genObs, needHub boo
 		if !needHub {
 			return d, hubUnknown, true, nil
 		}
-		hub, resolveObs, serr := r.resolveRank(su, int(rank))
+		hub, resolveObs, serr := r.resolveRankOn(repU, int(rank))
 		if serr != nil {
-			return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
+			// The pinned replica died between row fetch and resolution;
+			// refetch (a sibling will serve both) rather than fail.
+			lastErr = serr
+			continue
 		}
 		if resolveObs == obsU {
 			return d, hub, true, nil
 		}
-		// Shard su swapped snapshots between row fetch and resolution;
+		// The replica swapped snapshots between row fetch and resolution;
 		// the rank may not mean the same vertex anymore. Retry cleanly.
-		lastErr = fmt.Errorf("shard %d reloaded mid-query %d times in a row", su, try+1)
+		lastErr = fmt.Errorf("shard %d replica %d reloaded mid-query %d times in a row", su, repU.id, try+1)
 	}
 	return 0, 0, false, &ClusterError{Failed: []*ShardError{{
-		Shard: su, Addr: r.shards[su].addr, Err: lastErr,
+		Shard: su, Replica: -1, Addr: r.shards[su].addrList(), Err: lastErr,
 	}}}
 }
 
 // --- health, stats, HTTP ---
 
-// ShardHealth is one shard's state as seen by the router.
-type ShardHealth struct {
+// ReplicaHealth is one replica's state as seen by the router.
+type ReplicaHealth struct {
 	ID         int    `json:"id"`
 	Addr       string `json:"addr"`
 	OK         bool   `json:"ok"`
+	Ejected    bool   `json:"ejected"`
 	Generation uint64 `json:"generation,omitempty"`
 	Error      string `json:"error,omitempty"`
 }
 
-// Health probes every shard's /healthz concurrently and reports each
+// ShardHealth is one shard's state as seen by the router: the shard is
+// OK while at least one of its replicas answers.
+type ShardHealth struct {
+	ID         int             `json:"id"`
+	Addr       string          `json:"addr"` // first replica, for the unreplicated view
+	OK         bool            `json:"ok"`
+	Generation uint64          `json:"generation,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Replicas   []ReplicaHealth `json:"replicas"`
+}
+
+// Health probes every replica's /healthz concurrently and reports each
 // one's state; the router serves (degraded) regardless of the outcome.
+// Probes feed the same ejection/probation machinery as query traffic, so
+// a recovered replica noticed here rejoins rotation immediately.
 func (r *Router) Health() []ShardHealth {
 	out := make([]ShardHealth, len(r.shards))
 	var wg sync.WaitGroup
 	for i, c := range r.shards {
-		wg.Add(1)
-		go func(i int, c *shardClient) {
-			defer wg.Done()
-			h := ShardHealth{ID: c.id, Addr: c.addr}
-			var resp struct {
-				OK         bool   `json:"ok"`
-				Generation uint64 `json:"generation"`
-				Epoch      uint64 `json:"epoch"`
-			}
-			if err := r.getJSON(c, "/healthz", &resp); err != nil {
-				h.Error = err.Error()
-			} else {
-				h.OK = resp.OK
-				h.Generation = resp.Generation
-				c.lastGen.Store(resp.Generation)
-				r.noteGenerations(map[int]genObs{c.id: {epoch: resp.Epoch, gen: resp.Generation}})
-			}
-			out[i] = h
-		}(i, c)
+		out[i] = ShardHealth{ID: c.id, Addr: c.reps[0].addr, Replicas: make([]ReplicaHealth, len(c.reps))}
+		for j, rep := range c.reps {
+			wg.Add(1)
+			go func(i, j int, rep *replica) {
+				defer wg.Done()
+				out[i].Replicas[j] = r.probeReplica(rep)
+			}(i, j, rep)
+		}
 	}
 	wg.Wait()
+	for i := range out {
+		for _, rh := range out[i].Replicas {
+			if rh.OK {
+				out[i].OK = true
+				if rh.Generation > out[i].Generation {
+					out[i].Generation = rh.Generation
+				}
+			} else if out[i].Error == "" {
+				out[i].Error = fmt.Sprintf("replica %d: %s", rh.ID, rh.Error)
+			}
+		}
+		if out[i].OK {
+			out[i].Error = ""
+		}
+	}
 	return out
 }
 
-// RouterShardStats is the per-shard block of RouterStats.
-type RouterShardStats struct {
+// probeReplica GETs one replica's /healthz, folding the result into the
+// replica's health state and the router's identity tracking.
+func (r *Router) probeReplica(rep *replica) ReplicaHealth {
+	h := ReplicaHealth{ID: rep.id, Addr: rep.addr}
+	var resp struct {
+		OK         bool   `json:"ok"`
+		Generation uint64 `json:"generation"`
+		Epoch      uint64 `json:"epoch"`
+	}
+	serr, _ := r.tryReplica(rep, func(rep *replica) error {
+		hresp, err := r.client.Get(rep.addr + "/healthz")
+		if err != nil {
+			return err
+		}
+		defer hresp.Body.Close()
+		return decodeReplicaResponse(hresp, &resp)
+	})
+	if serr != nil {
+		h.Error = serr.Err.Error()
+		h.Ejected = rep.state.Load() == replicaEjected
+		return h
+	}
+	h.OK = resp.OK
+	h.Generation = resp.Generation
+	rep.lastGen.Store(resp.Generation)
+	r.noteGenerations(map[repRef]genObs{{rep.shard, rep.id}: {epoch: resp.Epoch, gen: resp.Generation}})
+	return h
+}
+
+// RouterReplicaStats is the per-replica block of RouterShardStats.
+type RouterReplicaStats struct {
 	ID         int    `json:"id"`
 	Addr       string `json:"addr"`
 	Requests   int64  `json:"requests_total"`
 	Errors     int64  `json:"errors_total"`
+	Ejections  int64  `json:"ejections_total"`
+	Ejected    bool   `json:"ejected"`
+	InFlight   int64  `json:"in_flight"`
 	LastError  string `json:"last_error,omitempty"`
 	Generation uint64 `json:"generation"` // last observed; 0 = never seen
+}
+
+// RouterShardStats is the per-shard block of RouterStats. The counters
+// aggregate the shard's replica group; Replicas breaks them down.
+type RouterShardStats struct {
+	ID         int                  `json:"id"`
+	Addr       string               `json:"addr"` // first replica, for the unreplicated view
+	Requests   int64                `json:"requests_total"`
+	Errors     int64                `json:"errors_total"`
+	Ejections  int64                `json:"ejections_total"`
+	LastError  string               `json:"last_error,omitempty"`
+	Generation uint64               `json:"generation"` // highest observed; 0 = never seen
+	Replicas   []RouterReplicaStats `json:"replicas"`
 }
 
 // RouterStats is the router's /stats response.
@@ -852,6 +1248,7 @@ type RouterStats struct {
 	Shards        []RouterShardStats `json:"shards"`
 	Queries       int64              `json:"queries_total"`
 	CrossJoins    int64              `json:"cross_joins_total"`
+	Failovers     int64              `json:"failovers_total"`
 	CacheResets   int64              `json:"cache_resets_total"`
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Cache         *CacheStats        `json:"cache,omitempty"`
@@ -863,21 +1260,39 @@ func (r *Router) Stats() RouterStats {
 		Vertices:      r.n,
 		Queries:       r.queries.Load(),
 		CrossJoins:    r.crossJoins.Load(),
+		Failovers:     r.failovers.Load(),
 		CacheResets:   r.cacheResets.Load(),
 		UptimeSeconds: time.Since(r.start).Seconds(),
 	}
 	for _, c := range r.shards {
-		c.mu.Lock()
-		lastErr := c.lastErr
-		c.mu.Unlock()
-		out.Shards = append(out.Shards, RouterShardStats{
-			ID:         c.id,
-			Addr:       c.addr,
-			Requests:   c.requests.Load(),
-			Errors:     c.errors.Load(),
-			LastError:  lastErr,
-			Generation: c.lastGen.Load(),
-		})
+		ss := RouterShardStats{ID: c.id, Addr: c.reps[0].addr}
+		for _, rep := range c.reps {
+			rep.mu.Lock()
+			lastErr := rep.lastErr
+			rep.mu.Unlock()
+			rs := RouterReplicaStats{
+				ID:         rep.id,
+				Addr:       rep.addr,
+				Requests:   rep.requests.Load(),
+				Errors:     rep.errors.Load(),
+				Ejections:  rep.ejections.Load(),
+				Ejected:    rep.state.Load() == replicaEjected,
+				InFlight:   rep.inflight.Load(),
+				LastError:  lastErr,
+				Generation: rep.lastGen.Load(),
+			}
+			ss.Requests += rs.Requests
+			ss.Errors += rs.Errors
+			ss.Ejections += rs.Ejections
+			if ss.LastError == "" {
+				ss.LastError = rs.LastError
+			}
+			if rs.Generation > ss.Generation {
+				ss.Generation = rs.Generation
+			}
+			ss.Replicas = append(ss.Replicas, rs)
+		}
+		out.Shards = append(out.Shards, ss)
 	}
 	if c := r.state.Load().cache; c != nil {
 		cs := c.Stats()
@@ -888,9 +1303,9 @@ func (r *Router) Stats() RouterStats {
 
 // Handler returns the router's HTTP API — the same public surface as a
 // single-process Server (GET /dist, POST /batch, GET /stats, GET
-// /healthz, GET /metrics) plus POST /reload?shard=I[&path=P], which
-// proxies a hot reload to one shard. Errors are JSON bodies; shard
-// failures are 502s listing the failed shards.
+// /healthz, GET /metrics) plus POST /reload?shard=I[&replica=J][&path=P],
+// which proxies a hot reload to one shard replica. Errors are JSON
+// bodies; shard failures are 502s listing the failed shards.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dist", r.metrics.wrap("/dist", r.handleDist))
@@ -913,7 +1328,7 @@ func routeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &ce) {
 		failed := make([]map[string]any, len(ce.Failed))
 		for i, f := range ce.Failed {
-			failed[i] = map[string]any{"shard": f.Shard, "addr": f.Addr, "error": f.Err.Error()}
+			failed[i] = map[string]any{"shard": f.Shard, "replica": f.Replica, "addr": f.Addr, "error": f.Err.Error()}
 		}
 		writeJSON(w, http.StatusBadGateway, map[string]any{
 			"error":         ce.Error(),
@@ -985,22 +1400,27 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	}
 	shards := r.Health()
 	ok := true
+	degraded := false
 	for _, h := range shards {
 		ok = ok && h.OK
+		for _, rh := range h.Replicas {
+			degraded = degraded || !rh.OK
+		}
 	}
 	code := http.StatusOK
 	if !ok {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"ok": ok, "shards": shards})
+	writeJSON(w, code, map[string]any{"ok": ok, "degraded": degraded, "shards": shards})
 }
 
-// handleReload proxies POST /reload?shard=I[&path=P] to one shard server,
-// so an operator can hot-swap any shard through the router. The response
-// is the shard's own /reload response.
+// handleReload proxies POST /reload?shard=I[&replica=J][&path=P] to one
+// shard replica (replica 0 when J is omitted), so an operator can
+// hot-swap any serving process through the router. The response is the
+// replica's own /reload response.
 func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST /reload?shard=I&path=P")
+		httpError(w, http.StatusMethodNotAllowed, "use POST /reload?shard=I&replica=J&path=P")
 		return
 	}
 	sid, err := strconv.Atoi(req.URL.Query().Get("shard"))
@@ -1008,22 +1428,32 @@ func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("shard must name a shard in [0,%d)", len(r.shards)))
 		return
 	}
+	c := r.shards[sid]
+	rid := 0
+	if rq := req.URL.Query().Get("replica"); rq != "" {
+		rid, err = strconv.Atoi(rq)
+		if err != nil || rid < 0 || rid >= len(c.reps) {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("replica must name a replica of shard %d in [0,%d)", sid, len(c.reps)))
+			return
+		}
+	}
 	path := "/reload"
 	if p := req.URL.Query().Get("path"); p != "" {
 		path += "?path=" + url.QueryEscape(p)
 	}
-	c := r.shards[sid]
-	c.requests.Add(1)
-	resp, err := r.client.Post(c.addr+path, "application/json", strings.NewReader("{}"))
+	rep := c.reps[rid]
+	rep.requests.Add(1)
+	resp, err := r.client.Post(rep.addr+path, "application/json", strings.NewReader("{}"))
 	if err != nil {
-		// Transport failure: the shard really is unreachable.
-		routeError(w, &ClusterError{Failed: []*ShardError{c.fail(err)}})
+		// Transport failure: the replica really is unreachable.
+		rep.fail(err, r.ejectAfter, r.probation)
+		routeError(w, &ClusterError{Failed: []*ShardError{{Shard: sid, Replica: rid, Addr: rep.addr, Err: err}}})
 		return
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if resp.StatusCode != http.StatusOK {
-		// The shard spoke; an operator error (bad path → 400) is relayed
+		// The replica spoke; an operator error (bad path → 400) is relayed
 		// verbatim, not dressed up as a shard failure — it must not trip
 		// error counters or health dashboards.
 		w.Header().Set("Content-Type", "application/json")
@@ -1033,21 +1463,19 @@ func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 	}
 	var out map[string]any
 	if err := json.Unmarshal(body, &out); err != nil {
-		routeError(w, &ClusterError{Failed: []*ShardError{c.fail(fmt.Errorf("undecodable reload response: %w", err))}})
+		routeError(w, &ClusterError{Failed: []*ShardError{r.terminalErr(rep, fmt.Errorf("undecodable reload response: %w", err))}})
 		return
 	}
-	// Successful round trip: the shard is healthy again as far as the
-	// router can tell (mirrors decodeShardResponse's success path).
-	c.mu.Lock()
-	c.lastErr = ""
-	c.mu.Unlock()
-	// A successful reload bumped the shard's generation; fold it in now
+	// Successful round trip: the replica is healthy again as far as the
+	// router can tell (mirrors withReplica's success path).
+	rep.succeed()
+	// A successful reload bumped the replica's generation; fold it in now
 	// so the next query doesn't serve one answer from the retired cache.
 	g, gok := out["generation"].(float64)
 	e, eok := out["epoch"].(float64)
 	if gok && eok {
-		c.lastGen.Store(uint64(g))
-		r.noteGenerations(map[int]genObs{sid: {epoch: uint64(e), gen: uint64(g)}})
+		rep.lastGen.Store(uint64(g))
+		r.noteGenerations(map[repRef]genObs{{sid, rid}: {epoch: uint64(e), gen: uint64(g)}})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -1066,6 +1494,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	promGauge(w, "chl_router_uptime_seconds", "Seconds since the router started.", st.UptimeSeconds)
 	promCounter(w, "chl_router_queries_total", "Queries routed.", st.Queries)
 	promCounter(w, "chl_router_cross_joins_total", "Cross-shard hub joins performed at the router.", st.CrossJoins)
+	promCounter(w, "chl_router_failovers_total", "Requests retried on another replica after a replica failure.", st.Failovers)
 	promCounter(w, "chl_router_cache_resets_total", "Answer-cache resets after observed shard reloads.", st.CacheResets)
 	if st.Cache != nil {
 		promGauge(w, "chl_router_cache_entries", "Answers currently cached at the router.", float64(st.Cache.Entries))
@@ -1073,16 +1502,45 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		promCounter(w, "chl_router_cache_hits_total", "Router answer cache hits.", st.Cache.Hits)
 		promCounter(w, "chl_router_cache_misses_total", "Router answer cache misses.", st.Cache.Misses)
 	}
-	fmt.Fprintf(w, "# HELP chl_router_shard_requests_total Requests sent to each shard.\n# TYPE chl_router_shard_requests_total counter\n")
+	fmt.Fprintf(w, "# HELP chl_router_shard_requests_total Requests sent to each shard (all replicas).\n# TYPE chl_router_shard_requests_total counter\n")
 	for _, sh := range st.Shards {
 		fmt.Fprintf(w, "chl_router_shard_requests_total{shard=\"%d\"} %d\n", sh.ID, sh.Requests)
 	}
-	fmt.Fprintf(w, "# HELP chl_router_shard_errors_total Failed requests per shard.\n# TYPE chl_router_shard_errors_total counter\n")
+	fmt.Fprintf(w, "# HELP chl_router_shard_errors_total Failed requests per shard (all replicas).\n# TYPE chl_router_shard_errors_total counter\n")
 	for _, sh := range st.Shards {
 		fmt.Fprintf(w, "chl_router_shard_errors_total{shard=\"%d\"} %d\n", sh.ID, sh.Errors)
 	}
-	fmt.Fprintf(w, "# HELP chl_router_shard_generation Last observed snapshot generation per shard (0 = never seen).\n# TYPE chl_router_shard_generation gauge\n")
+	fmt.Fprintf(w, "# HELP chl_router_shard_generation Highest observed snapshot generation per shard (0 = never seen).\n# TYPE chl_router_shard_generation gauge\n")
 	for _, sh := range st.Shards {
 		fmt.Fprintf(w, "chl_router_shard_generation{shard=\"%d\"} %d\n", sh.ID, sh.Generation)
+	}
+	promReplicaCounter(w, st, "chl_router_replica_requests_total", "Requests sent to each shard replica.",
+		func(rs RouterReplicaStats) int64 { return rs.Requests })
+	promReplicaCounter(w, st, "chl_router_replica_errors_total", "Failed requests per shard replica.",
+		func(rs RouterReplicaStats) int64 { return rs.Errors })
+	promReplicaCounter(w, st, "chl_router_replica_ejections_total", "Times each replica was ejected after consecutive failures.",
+		func(rs RouterReplicaStats) int64 { return rs.Ejections })
+	fmt.Fprintf(w, "# HELP chl_router_replica_ejected 1 while the replica is ejected from rotation.\n# TYPE chl_router_replica_ejected gauge\n")
+	for _, sh := range st.Shards {
+		for _, rs := range sh.Replicas {
+			fmt.Fprintf(w, "chl_router_replica_ejected{shard=\"%d\",replica=\"%d\"} %g\n", sh.ID, rs.ID, boolGauge(rs.Ejected))
+		}
+	}
+	fmt.Fprintf(w, "# HELP chl_router_replica_generation Last observed snapshot generation per replica (0 = never seen).\n# TYPE chl_router_replica_generation gauge\n")
+	for _, sh := range st.Shards {
+		for _, rs := range sh.Replicas {
+			fmt.Fprintf(w, "chl_router_replica_generation{shard=\"%d\",replica=\"%d\"} %d\n", sh.ID, rs.ID, rs.Generation)
+		}
+	}
+}
+
+// promReplicaCounter writes one {shard,replica}-labelled counter family
+// from the per-replica stats blocks.
+func promReplicaCounter(w io.Writer, st RouterStats, name, help string, get func(RouterReplicaStats) int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	for _, sh := range st.Shards {
+		for _, rs := range sh.Replicas {
+			fmt.Fprintf(w, "%s{shard=\"%d\",replica=\"%d\"} %d\n", name, sh.ID, rs.ID, get(rs))
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/label"
 	"repro/internal/shard"
 )
 
@@ -695,40 +696,22 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // encodePackedRun serializes a packed label run as base64 of its
-// little-endian bytes.
+// little-endian bytes (label.PackedRunBytes).
 func encodePackedRun(run []uint64) string {
-	b := make([]byte, 8*len(run))
-	for i, e := range run {
-		binary.LittleEndian.PutUint64(b[i*8:], e)
-	}
-	return base64.StdEncoding.EncodeToString(b)
+	return base64.StdEncoding.EncodeToString(label.PackedRunBytes(run))
 }
 
-// decodePackedRun reverses encodePackedRun, validating that the run is a
-// structurally sound label run for an n-vertex index: length a multiple
-// of 8 bytes, strictly ascending packed words (= strictly ascending
-// hubs), every hub < n. The router runs this on rows received from
-// shards before they reach the join kernels, whose scratch indexing
-// trusts hub ids.
+// decodePackedRun reverses encodePackedRun. The structural validation —
+// whole entries, strictly ascending hubs, every hub < n — lives in
+// label.ParsePackedRun (and is fuzzed there); the router runs it on rows
+// received from shards before they reach the join kernels, whose scratch
+// indexing trusts hub ids.
 func decodePackedRun(enc string, n int) ([]uint64, error) {
 	b, err := base64.StdEncoding.DecodeString(enc)
 	if err != nil {
 		return nil, fmt.Errorf("chl: undecodable label row: %w", err)
 	}
-	if len(b)%8 != 0 {
-		return nil, fmt.Errorf("chl: label row of %d bytes is not a whole number of entries", len(b))
-	}
-	run := make([]uint64, len(b)/8)
-	for i := range run {
-		run[i] = binary.LittleEndian.Uint64(b[i*8:])
-		if hub := run[i] >> 32; hub >= uint64(n) {
-			return nil, fmt.Errorf("chl: label row entry %d has out-of-range hub %d (n=%d)", i, hub, n)
-		}
-		if i > 0 && run[i-1]>>32 >= run[i]>>32 {
-			return nil, fmt.Errorf("chl: label row hubs not strictly sorted at entry %d", i)
-		}
-	}
-	return run, nil
+	return label.ParsePackedRun(b, n)
 }
 
 // handleMetrics exposes the server in Prometheus text format: the
