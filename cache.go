@@ -18,11 +18,14 @@ type Answer struct {
 }
 
 // Cache is a sharded, bounded LRU cache of point-to-point query answers.
-// Keys are unordered vertex pairs (the indexes it fronts are undirected,
-// so (u,v) and (v,u) share an entry). The key is hashed to one of P
-// power-of-two shards, each an independently locked map + intrusive LRU
-// list, so concurrent serving workers contend only when they collide on
-// a shard — P scales with GOMAXPROCS. Hit/miss counters are lock-free.
+// Keys are vertex pairs: a cache fronting an undirected index
+// canonicalizes them (NewCache — (u,v) and (v,u) share an entry), while
+// one fronting a directed index keys on ordered pairs (NewDirectedCache
+// — d(u→v) and d(v→u) are different answers and must never alias). The
+// key is hashed to one of P power-of-two shards, each an independently
+// locked map + intrusive LRU list, so concurrent serving workers contend
+// only when they collide on a shard — P scales with GOMAXPROCS.
+// Hit/miss counters are lock-free.
 //
 // A Cache holds answers from exactly one index generation. It has no
 // invalidation API on purpose: replacing the index means starting a new
@@ -30,10 +33,11 @@ type Answer struct {
 // answers across a hot swap structurally impossible rather than merely
 // unlikely.
 type Cache struct {
-	shards []cacheShard
-	mask   uint64
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards   []cacheShard
+	mask     uint64
+	directed bool
+	hits     atomic.Int64
+	misses   atomic.Int64
 }
 
 type cacheShard struct {
@@ -54,9 +58,17 @@ type cacheEntry struct {
 
 // NewCache returns a cache bounded to roughly capacity answers in total,
 // spread over a power-of-two number of shards sized to the machine's
-// parallelism. Capacities below one shard collapse to a single shard;
+// parallelism, keyed on unordered pairs — for engines over undirected
+// indexes. Capacities below one shard collapse to a single shard;
 // capacity <= 0 returns nil, which every consumer treats as "no cache".
-func NewCache(capacity int) *Cache {
+func NewCache(capacity int) *Cache { return newCache(capacity, false) }
+
+// NewDirectedCache is NewCache keyed on ordered pairs, for engines over
+// directed indexes: an unordered cache in front of a directed engine
+// would serve d(v→u) for d(u→v).
+func NewDirectedCache(capacity int) *Cache { return newCache(capacity, true) }
+
+func newCache(capacity int, directed bool) *Cache {
 	if capacity <= 0 {
 		return nil
 	}
@@ -67,7 +79,7 @@ func NewCache(capacity int) *Cache {
 	if capacity < shards {
 		shards = 1
 	}
-	c := &Cache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	c := &Cache{shards: make([]cacheShard, shards), mask: uint64(shards - 1), directed: directed}
 	per := (capacity + shards - 1) / shards
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -78,14 +90,18 @@ func NewCache(capacity int) *Cache {
 	return c
 }
 
-// pairKey packs the unordered pair into one word; vertex ids fit in 32
-// bits by the flat format's construction.
-func pairKey(u, v int) uint64 {
-	if u > v {
+// pairKey packs the pair into one word — canonicalized for undirected
+// caches, order-preserving for directed ones; vertex ids fit in 32 bits
+// by the flat format's construction.
+func (c *Cache) pairKey(u, v int) uint64 {
+	if !c.directed && u > v {
 		u, v = v, u
 	}
 	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
+
+// Directed reports whether the cache keys on ordered pairs.
+func (c *Cache) Directed() bool { return c != nil && c.directed }
 
 // splitmix64 finalizer: shard selection must not correlate with the key's
 // low bits (consecutive vertex ids would pile onto one shard).
@@ -97,11 +113,12 @@ func mixKey(k uint64) uint64 {
 	return k ^ k>>31
 }
 
-// Get returns the cached answer for the unordered pair (u,v) and whether
-// it was present, promoting the entry to most-recently-used. Safe for
+// Get returns the cached answer for the pair (u,v) — unordered for
+// undirected caches, ordered for directed ones — and whether it was
+// present, promoting the entry to most-recently-used. Safe for
 // concurrent use.
 func (c *Cache) Get(u, v int) (Answer, bool) {
-	key := pairKey(u, v)
+	key := c.pairKey(u, v)
 	s := &c.shards[mixKey(key)&c.mask]
 	s.mu.Lock()
 	e, ok := s.m[key]
@@ -118,11 +135,11 @@ func (c *Cache) Get(u, v int) (Answer, bool) {
 	return a, true
 }
 
-// Put stores the answer for the unordered pair (u,v), evicting the
-// shard's least-recently-used entry when the shard is full. Safe for
-// concurrent use.
+// Put stores the answer for the pair (u,v) under the cache's key
+// ordering, evicting the shard's least-recently-used entry when the
+// shard is full. Safe for concurrent use.
 func (c *Cache) Put(u, v int, a Answer) {
-	key := pairKey(u, v)
+	key := c.pairKey(u, v)
 	s := &c.shards[mixKey(key)&c.mask]
 	s.mu.Lock()
 	if e, ok := s.m[key]; ok {
@@ -173,6 +190,7 @@ type CacheStats struct {
 	Capacity int   `json:"capacity"`
 	Entries  int   `json:"entries"`
 	Shards   int   `json:"shards"`
+	Directed bool  `json:"directed,omitempty"`
 	Hits     int64 `json:"hits"`
 	Misses   int64 `json:"misses"`
 }
@@ -188,6 +206,7 @@ func (c *Cache) Stats() CacheStats {
 		Capacity: c.shards[0].cap * len(c.shards),
 		Entries:  c.Len(),
 		Shards:   len(c.shards),
+		Directed: c.directed,
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
 	}

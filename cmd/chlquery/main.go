@@ -24,6 +24,13 @@
 // and -shard, different ports) for read scaling and failover; -split
 // -addrs records the replica topology in the manifest for the router.
 //
+// Directed indexes (built by cmd/chl over a directed graph) serve
+// through the same flags end to end: -save writes a CHFX v3 file packing
+// both label halves, -split marks the manifest directed so the router
+// keys its cache on ordered pairs, and /dist?u=&v= answers the u→v
+// distance. Only the simulated -bench modes (qlsn/qfdl/qdol) remain
+// undirected-only.
+//
 // Serving loads the flat file through chl.OpenFlat — memory-mapped and
 // zero-copy on platforms that support it — and hot-swaps index files
 // without dropping in-flight queries, via POST /reload or SIGHUP. The
@@ -90,8 +97,8 @@ func main() {
 		runSplit(fx, *splitK, *shardsDir, *replicas, uint64(*seed), *addrs)
 		return
 	}
-	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB\n",
-		fx.NumVertices(), fx.TotalLabels(), float64(fx.TotalMemory())/(1<<20))
+	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB directed=%v\n",
+		fx.NumVertices(), fx.TotalLabels(), float64(fx.TotalMemory())/(1<<20), fx.Directed())
 
 	if *savePath != "" {
 		if err := fx.SaveFile(*savePath); err != nil {
@@ -135,7 +142,11 @@ func main() {
 
 // loadIndex resolves the two input flavours. The slice-based index is only
 // materialized when it came from -index (the distributed -bench modes need
-// it); a flat load stays flat.
+// it); a flat load stays flat. Directed indexes freeze like undirected
+// ones — both label halves are packed — so every downstream consumer
+// (-save, -split, -serve, -mode local) takes directed input; only the
+// simulated distributed -bench modes are undirected-only, and runBench
+// rejects those up front with an actionable message.
 func loadIndex(indexPath, loadPath string) (*chl.FlatIndex, *chl.Index, error) {
 	switch {
 	case indexPath != "" && loadPath != "":
@@ -162,12 +173,17 @@ func loadIndex(indexPath, loadPath string) (*chl.FlatIndex, *chl.Index, error) {
 }
 
 func answer(fx *chl.FlatIndex, u, v int) {
+	// Ordered notation for directed indexes: d(u→v) and d(v→u) differ.
+	pair := fmt.Sprintf("d(%d,%d)", u, v)
+	if fx.Directed() {
+		pair = fmt.Sprintf("d(%d→%d)", u, v)
+	}
 	d, hub, ok := fx.QueryHub(u, v)
 	if !ok || math.IsInf(d, 1) || d == math.MaxFloat64 {
-		fmt.Printf("d(%d,%d) = unreachable\n", u, v)
+		fmt.Printf("%s = unreachable\n", pair)
 		return
 	}
-	fmt.Printf("d(%d,%d) = %g (via hub %d)\n", u, v, d, hub)
+	fmt.Printf("%s = %g (via hub %d)\n", pair, d, hub)
 }
 
 // runSplit slices fx into k per-shard flat files plus the cluster
@@ -189,7 +205,7 @@ func runSplit(fx *chl.FlatIndex, k int, dir string, replicas int, seed uint64, a
 			fatal(err)
 		}
 	}
-	fmt.Printf("wrote %d shards + %s to %s\n", k, shard.ManifestName, dir)
+	fmt.Printf("wrote %d shards + %s to %s (directed=%v)\n", k, shard.ManifestName, dir, m.Directed)
 	for i, f := range m.Files {
 		fmt.Printf("  shard %d: %s (%d vertices)", i, f, m.VertexCounts[i])
 		if m.ReplicaAddrs != nil {
@@ -266,8 +282,8 @@ func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault
 		s.SetPrefault(true)
 	}
 	st := s.Stats()
-	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v cache=%d\n",
-		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, cacheCap)
+	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v directed=%v cache=%d\n",
+		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, st.Directed, cacheCap)
 	installReload(s)
 	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
@@ -309,14 +325,23 @@ func runShardServe(addr string, cacheCap int, prefault bool, shardID int, manife
 		fatal(fmt.Errorf("shard file %s covers %d vertices but the manifest says %d — mismatched cluster build?",
 			file, st.Vertices, m.Vertices))
 	}
-	fmt.Printf("shard %d/%d: file=%s n=%d labels=%d flat=%.2f MiB mapped=%v cache=%d\n",
-		shardID, m.Shards, file, st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, cacheCap)
+	if st.Directed != m.Directed {
+		fatal(fmt.Errorf("shard file %s is directed=%v but the manifest says directed=%v — mismatched cluster build?",
+			file, st.Directed, m.Directed))
+	}
+	fmt.Printf("shard %d/%d: file=%s n=%d labels=%d flat=%.2f MiB mapped=%v directed=%v cache=%d\n",
+		shardID, m.Shards, file, st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, st.Directed, cacheCap)
 	installReload(s)
 	fmt.Printf("serving on %s (router-facing POST /shardquery; GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }
 
 func runBench(fx *chl.FlatIndex, ix *chl.Index, count int, modeName string, nodes int, seed int64) {
+	// Directed indexes bench on the real serving path only; fail before
+	// any work rather than deep inside the query-engine constructor.
+	if fx.Directed() && !strings.EqualFold(modeName, "local") {
+		fatal(fmt.Errorf("mode %q simulates the paper's undirected query cluster; directed indexes bench with -mode local (or serve via -serve / a shard cluster)", modeName))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	n := fx.NumVertices()
 	pairs := make([]chl.QueryPair, count)

@@ -36,6 +36,12 @@
 // two label rows and hub-join at the router (QDOL-style point-to-point
 // routing — see ARCHITECTURE.md "Sharded serving" and "Replicated
 // serving").
+//
+// A cluster split from a directed index (the manifest records
+// directed=true) serves ordered queries: /dist?u=&v= is the u→v
+// distance, the router's answer cache keys on ordered pairs, and
+// cross-shard joins fetch u's forward row and v's backward row. No extra
+// flags are needed — directedness travels with the manifest.
 package main
 
 import (
@@ -87,8 +93,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cluster: n=%d shards=%d ring-replicas=%d cache=%d eject-after=%d probation=%v\n",
-		m.Vertices, m.Shards, m.Replicas, *cacheCap, *ejectAfter, *probation)
+	fmt.Printf("cluster: n=%d shards=%d ring-replicas=%d directed=%v cache=%d eject-after=%d probation=%v\n",
+		m.Vertices, m.Shards, m.Replicas, m.Directed, *cacheCap, *ejectAfter, *probation)
 	for _, h := range r.Health() {
 		states := make([]string, len(h.Replicas))
 		for j, rh := range h.Replicas {

@@ -61,12 +61,21 @@
 // on demand and serving processes of the same file share one physical
 // copy.
 //
+// Directed indexes (AlgoSeqPLL / AlgoPLaNT over a directed graph) freeze
+// and serve through the same stack: Freeze packs both label halves —
+// forward runs (hubs reachable from v) and backward runs (hubs that
+// reach v) — into a CHFX version-3 file, every kernel answers u→v as
+// the forward(u) × backward(v) hub join, and the answer caches key on
+// ordered pairs (NewDirectedCache) so d(u→v) and d(v→u) never alias.
+// Undirected files stay version 2, byte-identical.
+//
 // The production tier on top is Server: a hot-swappable Snapshot of the
 // index behind an atomic pointer, an optional sharded LRU Cache of full
-// answers (NewCache, per snapshot — a swap can never serve stale
-// distances), and an HTTP Handler. Server.Reload publishes a new index
-// file with zero dropped in-flight queries: old queries drain on their
-// generation, whose mapping is unmapped by the last one out.
+// answers (NewCache / NewDirectedCache, per snapshot — a swap can never
+// serve stale distances), and an HTTP Handler. Server.Reload publishes
+// a new index file with zero dropped in-flight queries: old queries
+// drain on their generation, whose mapping is unmapped by the last one
+// out.
 //
 //	s, _ := chl.NewServer("road.flat", 1<<16)       // mmap + 64k-answer cache
 //	http.ListenAndServe(":8080", s.Handler())       // /dist /batch /stats /reload /healthz
@@ -107,9 +116,12 @@
 // replicas with power-of-two-choices, retries failed requests on the
 // next replica — a query fails only when every replica of a shard is
 // down — and ejects repeatedly failing replicas until a timed probation
-// probe readmits them. cmd/chlrouter is the standalone router;
-// ARCHITECTURE.md ("Sharded serving", "Replicated serving") has the
-// topology, file layout, and protocol.
+// probe readmits them. Directed clusters work end to end: the manifest
+// records directedness, shards slice both label halves, cross-shard
+// joins fetch u's forward and v's backward row, and /dist?u=&v= is the
+// u→v distance on every tier. cmd/chlrouter is the standalone router;
+// ARCHITECTURE.md ("Sharded serving", "Replicated serving", "Directed
+// serving") has the topology, file layout, and protocol.
 //
 // # Distributed execution
 //

@@ -140,16 +140,20 @@ func TestBatchEngineMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestFreezeRejectsDirected(t *testing.T) {
-	g := chl.GenerateRandomDirected(30, 90, 5, 1)
-	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoSeqPLL})
-	if err != nil {
+// Directed freeze/serve coverage lives in directed_test.go; this file
+// keeps asserting that undirected CHFX files are unchanged by the
+// directed format extension.
+func TestUndirectedFlatFileStaysVersion2(t *testing.T) {
+	g := chl.GenerateRoadGrid(6, 6, 3)
+	_, fx := buildFrozen(t, g)
+	var buf bytes.Buffer
+	if err := fx.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ix.Freeze(); err == nil {
-		t.Fatal("directed index frozen")
+	if ver := buf.Bytes()[4]; ver != 2 {
+		t.Fatalf("undirected flat file written as CHFX version %d, want 2 (byte compatibility)", ver)
 	}
-	if _, err := chl.NewBatchEngine(ix); err == nil {
-		t.Fatal("batch engine accepted a directed index")
+	if fx.Directed() {
+		t.Fatal("undirected index reports Directed")
 	}
 }

@@ -1,0 +1,317 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Directed flat payload (CHLD, versioned, little endian): the directed
+// sibling of the CHLF payload, packing BOTH label halves of a directed
+// index — forward runs (hubs reachable from v, d(v→h)) and backward runs
+// (hubs that reach v, d(h→v)) — into one contiguous region:
+//
+//	magic   [4]byte  "CHLD"
+//	version uint8    currently dflatVersion (1)
+//	n       uint32   vertex count (shared by both halves)
+//	totalF  uint64   forward label count
+//	totalB  uint64   backward label count
+//	fwdOffsets (n+1) × uint32
+//	bwdOffsets (n+1) × uint32
+//	fwdEntries totalF × uint64 — hub<<32 | float32bits(dist)
+//	bwdEntries totalB × uint64
+//
+// Both halves are ordinary FlatIndex arrays, so every run-level consumer
+// (PackedRun, Slice, the join kernels, validate) works on them unchanged;
+// a directed query u→v is JoinPacked(fwd.PackedRun(u), bwd.PackedRun(v)).
+// The two offset arrays are adjacent and the two entry arrays are
+// adjacent, which keeps the alignment story one padding decision: with
+// the payload based at a file offset ≡ 7 (mod 8) — arranged by CHFX
+// version 3's pad — the offsets land 4-aligned and both entry arrays
+// 8-aligned, so MapDirectedFlat serves the whole payload zero-copy.
+
+var dflatMagic = [4]byte{'C', 'H', 'L', 'D'}
+
+// dflatVersion is the current directed flat serialization version;
+// readers reject anything newer.
+const dflatVersion = 1
+
+// DirectedFlatHeaderBytes is the CHLD header size: magic (4) + version
+// (1) + n (4) + totalF (8) + totalB (8). The framing writer (CHFX v3)
+// uses it to compute the alignment pad.
+const DirectedFlatHeaderBytes = 25
+
+// WriteDirectedFlat serializes the two halves of a directed flat index
+// as one CHLD payload. The halves must cover the same vertex count.
+func WriteDirectedFlat(w io.Writer, fwd, bwd *FlatIndex) (int64, error) {
+	if fwd.NumVertices() != bwd.NumVertices() {
+		return 0, fmt.Errorf("label: directed halves cover %d and %d vertices", fwd.NumVertices(), bwd.NumVertices())
+	}
+	bw := bufio.NewWriter(w)
+	var written int64
+	emit := func(p []byte) error {
+		k, err := bw.Write(p)
+		written += int64(k)
+		return err
+	}
+	var hdr [DirectedFlatHeaderBytes]byte
+	copy(hdr[:4], dflatMagic[:])
+	hdr[4] = dflatVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(fwd.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[9:17], uint64(len(fwd.entries)))
+	binary.LittleEndian.PutUint64(hdr[17:25], uint64(len(bwd.entries)))
+	if err := emit(hdr[:]); err != nil {
+		return written, err
+	}
+	var buf [4096]byte
+	for _, xs := range [][]uint32{fwd.offsets, bwd.offsets} {
+		for len(xs) > 0 {
+			chunk := len(buf) / 4
+			if chunk > len(xs) {
+				chunk = len(xs)
+			}
+			for i := 0; i < chunk; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
+			}
+			if err := emit(buf[:chunk*4]); err != nil {
+				return written, err
+			}
+			xs = xs[chunk:]
+		}
+	}
+	for _, es := range [][]uint64{fwd.entries, bwd.entries} {
+		for len(es) > 0 {
+			chunk := len(buf) / 8
+			if chunk > len(es) {
+				chunk = len(es)
+			}
+			for i := 0; i < chunk; i++ {
+				binary.LittleEndian.PutUint64(buf[i*8:], es[i])
+			}
+			if err := emit(buf[:chunk*8]); err != nil {
+				return written, err
+			}
+			es = es[chunk:]
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadDirectedFlat deserializes a CHLD payload written by
+// WriteDirectedFlat, validating the magic, version and the structural
+// invariants of both halves (monotone offsets spanning the entry arrays,
+// strictly sorted in-range hubs).
+func ReadDirectedFlat(r io.Reader) (fwd, bwd *FlatIndex, err error) {
+	br := bufio.NewReader(r)
+	var hdr [DirectedFlatHeaderBytes]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("label: reading directed flat header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != dflatMagic {
+		return nil, nil, fmt.Errorf("label: bad directed flat magic %q", hdr[:4])
+	}
+	if v := hdr[4]; v != dflatVersion {
+		return nil, nil, fmt.Errorf("label: unsupported directed flat version %d (want %d)", v, dflatVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[5:9]))
+	totalF := binary.LittleEndian.Uint64(hdr[9:17])
+	totalB := binary.LittleEndian.Uint64(hdr[17:25])
+	if totalF > 1<<32 || totalB > 1<<32 {
+		return nil, nil, fmt.Errorf("label: implausible directed label counts %d/%d", totalF, totalB)
+	}
+	// As in ReadFlat, arrays grow as bytes actually arrive, so a hostile
+	// header cannot demand gigabytes before the first short read fails.
+	var buf [4096]byte
+	readOffsets := func(side string) ([]uint32, error) {
+		offsets := make([]uint32, 0)
+		for remain := n + 1; remain > 0; {
+			chunk := len(buf) / 4
+			if chunk > remain {
+				chunk = remain
+			}
+			if _, err := io.ReadFull(br, buf[:chunk*4]); err != nil {
+				return nil, fmt.Errorf("label: reading %s flat offsets: %w", side, err)
+			}
+			for i := 0; i < chunk; i++ {
+				offsets = append(offsets, binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			remain -= chunk
+		}
+		return offsets, nil
+	}
+	readEntries := func(side string, total uint64) ([]uint64, error) {
+		entries := make([]uint64, 0)
+		for remain := total; remain > 0; {
+			chunk := uint64(len(buf) / 8)
+			if chunk > remain {
+				chunk = remain
+			}
+			if _, err := io.ReadFull(br, buf[:chunk*8]); err != nil {
+				return nil, fmt.Errorf("label: reading %s flat entries: %w", side, err)
+			}
+			for i := uint64(0); i < chunk; i++ {
+				entries = append(entries, binary.LittleEndian.Uint64(buf[i*8:]))
+			}
+			remain -= chunk
+		}
+		return entries, nil
+	}
+	fo, err := readOffsets("forward")
+	if err != nil {
+		return nil, nil, err
+	}
+	bo, err := readOffsets("backward")
+	if err != nil {
+		return nil, nil, err
+	}
+	// Cheap span fail-fast before the (much larger) entry streams.
+	if fo[0] != 0 || uint64(fo[n]) != totalF {
+		return nil, nil, fmt.Errorf("label: forward flat offsets do not span the label array")
+	}
+	if bo[0] != 0 || uint64(bo[n]) != totalB {
+		return nil, nil, fmt.Errorf("label: backward flat offsets do not span the label array")
+	}
+	fe, err := readEntries("forward", totalF)
+	if err != nil {
+		return nil, nil, err
+	}
+	be, err := readEntries("backward", totalB)
+	if err != nil {
+		return nil, nil, err
+	}
+	fwd = &FlatIndex{offsets: fo, entries: fe}
+	bwd = &FlatIndex{offsets: bo, entries: be}
+	if err := fwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: forward half: %w", err)
+	}
+	if err := bwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: backward half: %w", err)
+	}
+	return fwd, bwd, nil
+}
+
+// MapDirectedFlat constructs the two halves of a directed flat index
+// whose arrays alias data, which must hold a CHLD payload starting at
+// its first byte (trailing bytes are ignored). The same structural
+// validation as ReadDirectedFlat runs on both halves before the indexes
+// are returned. The forward half's raw region covers the entire payload,
+// so Prefault on it faults both halves in. The caller keeps data alive
+// (and mapped) for the lifetime of both returned indexes.
+func MapDirectedFlat(data []byte) (fwd, bwd *FlatIndex, err error) {
+	if !nativeLittleEndian() {
+		return nil, nil, fmt.Errorf("%w: host is big endian", ErrNotMappable)
+	}
+	if len(data) < DirectedFlatHeaderBytes {
+		return nil, nil, fmt.Errorf("label: directed flat payload too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != dflatMagic {
+		return nil, nil, fmt.Errorf("label: bad directed flat magic %q", data[:4])
+	}
+	if v := data[4]; v != dflatVersion {
+		return nil, nil, fmt.Errorf("label: unsupported directed flat version %d (want %d)", v, dflatVersion)
+	}
+	n := int(binary.LittleEndian.Uint32(data[5:9]))
+	totalF := binary.LittleEndian.Uint64(data[9:17])
+	totalB := binary.LittleEndian.Uint64(data[17:25])
+	if totalF > 1<<32 || totalB > 1<<32 {
+		return nil, nil, fmt.Errorf("label: implausible directed label counts %d/%d", totalF, totalB)
+	}
+	offBytes := int64(n+1) * 4
+	need := int64(DirectedFlatHeaderBytes) + 2*offBytes + int64(totalF)*8 + int64(totalB)*8
+	if int64(len(data)) < need {
+		return nil, nil, fmt.Errorf("label: directed flat payload truncated: %d bytes, need %d", len(data), need)
+	}
+	mapOffsets := func(start int64) ([]uint32, error) {
+		b := data[start : start+offBytes]
+		if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+			return nil, fmt.Errorf("%w: offsets array misaligned within the file", ErrNotMappable)
+		}
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n+1), nil
+	}
+	mapEntries := func(start int64, total uint64) ([]uint64, error) {
+		if total == 0 {
+			return nil, nil
+		}
+		b := data[start : start+int64(total)*8]
+		if uintptr(unsafe.Pointer(&b[0]))%8 != 0 {
+			return nil, fmt.Errorf("%w: entries array misaligned within the file", ErrNotMappable)
+		}
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), total), nil
+	}
+	fo, err := mapOffsets(DirectedFlatHeaderBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	bo, err := mapOffsets(DirectedFlatHeaderBytes + offBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	fe, err := mapEntries(DirectedFlatHeaderBytes+2*offBytes, totalF)
+	if err != nil {
+		return nil, nil, err
+	}
+	be, err := mapEntries(DirectedFlatHeaderBytes+2*offBytes+int64(totalF)*8, totalB)
+	if err != nil {
+		return nil, nil, err
+	}
+	fwd = &FlatIndex{offsets: fo, entries: fe}
+	bwd = &FlatIndex{offsets: bo, entries: be}
+	if err := fwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: forward half: %w", err)
+	}
+	if err := bwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: backward half: %w", err)
+	}
+	// One raw region on the forward half: Prefault walks the whole
+	// payload, both halves included.
+	fwd.raw = data[:need]
+	return fwd, bwd, nil
+}
+
+// MapDirectedFlatFile is MapDirectedFlat over the CHLD payload at byte
+// offset off of the already-open file f — the directed sibling of
+// MapFlatFile, with the same contract: the mapping is taken from f's
+// descriptor (not its path), f may be closed after return, and the
+// returned closer releases the mapping once the caller is done with
+// both halves.
+func MapDirectedFlatFile(f *os.File, off int64) (fwd, bwd *FlatIndex, closer func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	size := st.Size()
+	if off < 0 || off >= size {
+		return nil, nil, nil, fmt.Errorf("label: directed flat payload offset %d outside file of %d bytes", off, size)
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		if errors.Is(err, ErrNotMappable) {
+			return nil, nil, nil, err
+		}
+		return nil, nil, nil, fmt.Errorf("%w: mmap %s: %v", ErrNotMappable, f.Name(), err)
+	}
+	fwd, bwd, err = MapDirectedFlat(data[off:])
+	if err != nil {
+		munmapBytes(data)
+		return nil, nil, nil, err
+	}
+	adviseDirectedFlat(data, off, fwd, bwd)
+	return fwd, bwd, func() error { return munmapBytes(data) }, nil
+}
+
+// adviseDirectedFlat mirrors adviseFlat for a CHLD payload at byte
+// offset off of the mapping: both offset arrays (adjacent) get
+// MADV_WILLNEED, both entry arrays (adjacent) MADV_RANDOM.
+func adviseDirectedFlat(data []byte, off int64, fwd, bwd *FlatIndex) {
+	offStart := off + DirectedFlatHeaderBytes
+	offLen := int64(len(fwd.offsets)+len(bwd.offsets)) * 4
+	madviseSpan(data, offStart, offLen, adviceWillNeed)
+	madviseSpan(data, offStart+offLen, int64(len(fwd.entries)+len(bwd.entries))*8, adviceRandom)
+}

@@ -1,0 +1,186 @@
+package label
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomDirectedFlat builds a structurally valid directed flat pair with
+// independent forward and backward halves over the same vertex space.
+func randomDirectedFlat(t *testing.T, n int, seed int64) (fwd, bwd *FlatIndex) {
+	t.Helper()
+	return randomFlat(t, n, seed), randomFlat(t, n, seed+1000)
+}
+
+func flatEqual(a, b *FlatIndex) bool {
+	if a.NumVertices() != b.NumVertices() || len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i := range a.offsets {
+		if a.offsets[i] != b.offsets[i] {
+			return false
+		}
+	}
+	for i := range a.entries {
+		if a.entries[i] != b.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDirectedFlatRoundTrip(t *testing.T) {
+	fwd, bwd := randomDirectedFlat(t, 50, 21)
+	var buf bytes.Buffer
+	written, err := WriteDirectedFlat(&buf, fwd, bwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("WriteDirectedFlat reported %d bytes, wrote %d", written, buf.Len())
+	}
+	rf, rb, err := ReadDirectedFlat(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(rf, fwd) || !flatEqual(rb, bwd) {
+		t.Fatal("directed flat round trip changed the arrays")
+	}
+	// The halves join like any two packed runs.
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v += 7 {
+			wd, wh, wok := JoinPacked(fwd.PackedRun(u), bwd.PackedRun(v))
+			gd, gh, gok := JoinPacked(rf.PackedRun(u), rb.PackedRun(v))
+			if wd != gd || wh != gh || wok != gok {
+				t.Fatalf("join(%d,%d) diverged after round trip", u, v)
+			}
+		}
+	}
+}
+
+func TestWriteDirectedFlatRejectsMismatchedHalves(t *testing.T) {
+	fwd := randomFlat(t, 10, 1)
+	bwd := randomFlat(t, 11, 2)
+	if _, err := WriteDirectedFlat(&bytes.Buffer{}, fwd, bwd); err == nil {
+		t.Fatal("halves over different vertex counts accepted")
+	}
+}
+
+// dflatAlignSkew returns the payload base offset (mod 8) that aligns a
+// CHLD payload over n vertices: offsets on 4 bytes at base+25, both
+// entry arrays on 8 at base+25+8(n+1). This is the placement CHFX v3's
+// pad byte produces.
+func dflatAlignSkew(n int) int {
+	for skew := 0; skew < 8; skew++ {
+		if (skew+DirectedFlatHeaderBytes)%4 == 0 && (skew+DirectedFlatHeaderBytes+8*(n+1))%8 == 0 {
+			return skew
+		}
+	}
+	panic("no aligning skew")
+}
+
+func TestMapDirectedFlatParityWithRead(t *testing.T) {
+	fwd, bwd := randomDirectedFlat(t, 40, 33)
+	var buf bytes.Buffer
+	if _, err := WriteDirectedFlat(&buf, fwd, bwd); err != nil {
+		t.Fatal(err)
+	}
+	mf, mb, err := MapDirectedFlat(aligned(buf.Bytes(), dflatAlignSkew(40)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flatEqual(mf, fwd) || !flatEqual(mb, bwd) {
+		t.Fatal("mapped halves differ from the written ones")
+	}
+	if len(mf.raw) == 0 {
+		t.Fatal("forward half carries no raw region; Prefault would be a no-op")
+	}
+	if pages := mf.Prefault(); pages == 0 {
+		t.Fatal("Prefault walked no pages on a mapped directed payload")
+	}
+}
+
+func TestMapDirectedFlatRejectsMisaligned(t *testing.T) {
+	fwd, bwd := randomDirectedFlat(t, 10, 44)
+	var buf bytes.Buffer
+	if _, err := WriteDirectedFlat(&buf, fwd, bwd); err != nil {
+		t.Fatal(err)
+	}
+	good := dflatAlignSkew(10)
+	for skew := 0; skew < 8; skew++ {
+		_, _, err := MapDirectedFlat(aligned(buf.Bytes(), skew))
+		switch {
+		case skew == good && err != nil:
+			t.Errorf("skew %d: aligned payload rejected: %v", skew, err)
+		case skew != good && !errors.Is(err, ErrNotMappable):
+			t.Errorf("skew %d: want ErrNotMappable, got %v", skew, err)
+		}
+	}
+}
+
+func TestDirectedFlatRejectsGarbage(t *testing.T) {
+	fwd, bwd := randomDirectedFlat(t, 12, 55)
+	var buf bytes.Buffer
+	if _, err := WriteDirectedFlat(&buf, fwd, bwd); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	corruptHub := append([]byte(nil), full...)
+	copy(corruptHub[len(corruptHub)-4:], []byte{0xff, 0xff, 0xff, 0x7f})
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       full[:10],
+		"wrong magic": append([]byte("CHLF"), full[4:]...),
+		"bad version": append([]byte("CHLD\x09"), full[5:]...),
+		"truncated":   full[:len(full)-8],
+		"corrupt hub": corruptHub,
+	}
+	for name, c := range cases {
+		if _, _, err := ReadDirectedFlat(bytes.NewReader(c)); err == nil {
+			t.Errorf("read %s: accepted", name)
+		}
+		if _, _, err := MapDirectedFlat(aligned(c, dflatAlignSkew(12))); err == nil {
+			t.Errorf("map %s: accepted", name)
+		}
+	}
+}
+
+func TestMapDirectedFlatFile(t *testing.T) {
+	fwd, bwd := randomDirectedFlat(t, 30, 66)
+	var payload bytes.Buffer
+	if _, err := WriteDirectedFlat(&payload, fwd, bwd); err != nil {
+		t.Fatal(err)
+	}
+	// Bury the payload at an aligning offset, the way CHFX v3 does.
+	off := 48 + dflatAlignSkew(30)
+	file := make([]byte, off+payload.Len())
+	copy(file[off:], payload.Bytes())
+	path := filepath.Join(t.TempDir(), "buried.dflat")
+	if err := os.WriteFile(path, file, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	mf, mb, closer, err := MapDirectedFlatFile(f, int64(off))
+	if err != nil {
+		if errors.Is(err, ErrNotMappable) {
+			t.Skipf("platform cannot mmap: %v", err)
+		}
+		t.Fatal(err)
+	}
+	if !flatEqual(mf, fwd) || !flatEqual(mb, bwd) {
+		t.Fatal("file-mapped halves differ from the written ones")
+	}
+	if err := closer(); err != nil {
+		t.Fatalf("closer: %v", err)
+	}
+	if _, _, _, err := MapDirectedFlatFile(f, int64(len(file))+3); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+}

@@ -5,6 +5,74 @@ import (
 	"testing"
 )
 
+// fuzzFixtureDirected freezes a small directed pair (independent forward
+// and backward halves over one vertex space) for the CHLD fuzzer's seed
+// corpus.
+func fuzzFixtureDirected() (fwd, bwd *FlatIndex) {
+	const n = 24
+	mk := func(stride int) *FlatIndex {
+		ix := NewIndex(n)
+		for v := 0; v < n; v++ {
+			s := Set{}
+			for h := uint32(0); int(h) <= v; h += uint32(stride) {
+				s = append(s, L{Hub: h, Dist: float64(v-int(h)) + 1})
+			}
+			ix.SetLabels(v, s)
+		}
+		return Freeze(ix)
+	}
+	return mk(2), mk(3)
+}
+
+// FuzzReadDirectedFlat drives the CHLD payload decoder — the directed
+// packed-run format a shard file or a hostile peer could hand the
+// serving tier — with arbitrary bytes. Invariants: no panic; anything
+// accepted yields two structurally valid halves over one vertex space
+// whose re-serialization is byte-identical to the accepted prefix.
+func FuzzReadDirectedFlat(f *testing.F) {
+	fwd, bwd := fuzzFixtureDirected()
+	var valid bytes.Buffer
+	if _, err := WriteDirectedFlat(&valid, fwd, bwd); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Characteristic corruptions: truncation, header-count lies, a hub
+	// smashed out of range, swapped magic.
+	vb := valid.Bytes()
+	f.Add(vb[:len(vb)-5])
+	f.Add(vb[:DirectedFlatHeaderBytes])
+	lied := append([]byte(nil), vb...)
+	lied[9] = 0xff // totalF low byte
+	f.Add(lied)
+	smashed := append([]byte(nil), vb...)
+	copy(smashed[len(smashed)-4:], []byte{0xff, 0xff, 0xff, 0x7f})
+	f.Add(smashed)
+	f.Add(append([]byte("CHLF"), vb[4:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rf, rb, err := ReadDirectedFlat(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rf.NumVertices() != rb.NumVertices() {
+			t.Fatalf("accepted halves over %d and %d vertices", rf.NumVertices(), rb.NumVertices())
+		}
+		if err := rf.validate(); err != nil {
+			t.Fatalf("accepted forward half fails validation: %v", err)
+		}
+		if err := rb.validate(); err != nil {
+			t.Fatalf("accepted backward half fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if _, err := WriteDirectedFlat(&out, rf, rb); err != nil {
+			t.Fatalf("accepted payload does not re-serialize: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatal("accepted payload does not round-trip byte-identically")
+		}
+	})
+}
+
 // fuzzFixtureRuns builds the seed corpus the packed-run fuzzer starts
 // from: real runs frozen out of a small index, the same shape the label
 // tests use, so the fuzzer begins at valid inputs and mutates outward.

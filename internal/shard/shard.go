@@ -158,8 +158,12 @@ const ManifestName = "cluster.json"
 // one file (and, at serving time, one server) per shard. Version 2 adds
 // ReplicaAddrs, letting the manifest also record the serving topology —
 // the base URLs of every replica of every shard — so a router can be
-// pointed at the manifest alone. v1 manifests still load; a v2 manifest
-// without replica addresses is equivalent to a v1 one.
+// pointed at the manifest alone. Version 3 adds Directed, marking a
+// cluster whose shard files hold directed (forward + backward) label
+// runs; the router then keys its answer cache on ordered pairs and
+// fetches backward rows for cross-shard joins. v1 and v2 manifests still
+// load; a v3 manifest without replica addresses or directedness is
+// equivalent to a v1 one.
 type Manifest struct {
 	Version  int      `json:"version"`
 	Vertices int      `json:"vertices"`
@@ -167,6 +171,10 @@ type Manifest struct {
 	Replicas int      `json:"replicas"`
 	Seed     uint64   `json:"seed"`
 	Files    []string `json:"files"`
+	// Directed (v3) marks a cluster over a directed index: every shard
+	// file is a CHFX v3 slice carrying both label halves, and serving
+	// components must treat (u,v) and (v,u) as distinct queries.
+	Directed bool `json:"directed,omitempty"`
 	// VertexCounts records how many vertices each shard owns — purely
 	// informational (the ring is authoritative), for operators and the
 	// splitter's balance report.
@@ -180,9 +188,14 @@ type Manifest struct {
 
 // Manifest schema versions. manifestVersion is what writers emit;
 // readers accept everything down to manifestVersionV1.
+// The per-feature constants are pinned: Validate gates each field on
+// the version that introduced it, never on the floating writer version
+// (which a future bump would turn into "reject every existing file").
 const (
 	manifestVersionV1 = 1
-	manifestVersion   = 2
+	manifestVersionV2 = 2
+	manifestVersionV3 = 3
+	manifestVersion   = manifestVersionV3
 )
 
 // Validation bounds: a manifest is a small hand-auditable file, and the
@@ -222,9 +235,12 @@ func (m *Manifest) Validate() error {
 	if m.VertexCounts != nil && len(m.VertexCounts) != m.Shards {
 		return fmt.Errorf("shard: manifest lists %d vertex counts for %d shards", len(m.VertexCounts), m.Shards)
 	}
+	if m.Directed && m.Version < manifestVersionV3 {
+		return fmt.Errorf("shard: directed clusters need manifest version %d, got %d", manifestVersionV3, m.Version)
+	}
 	if m.ReplicaAddrs != nil {
-		if m.Version < manifestVersion {
-			return fmt.Errorf("shard: replica addresses need manifest version %d, got %d", manifestVersion, m.Version)
+		if m.Version < manifestVersionV2 {
+			return fmt.Errorf("shard: replica addresses need manifest version %d, got %d", manifestVersionV2, m.Version)
 		}
 		if len(m.ReplicaAddrs) != m.Shards {
 			return fmt.Errorf("shard: manifest lists replica addresses for %d shards, want %d", len(m.ReplicaAddrs), m.Shards)

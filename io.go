@@ -121,48 +121,70 @@ func LoadFile(path string) (*Index, error) {
 // Flat serving format:
 //
 //	magic   "CHFX"
-//	version 1 byte (currently 2)
+//	version 1 byte (2 for undirected, 3 for directed)
 //	padlen  1 byte            version ≥ 2 only
 //	pad     padlen zero bytes version ≥ 2 only
 //	perm    (label.WritePerm) — rank → original id
-//	flat    packed label store (label.FlatIndex CHLF payload); runs are
-//	        ordered by original vertex id, hub ids are in rank space
+//	flat    packed label store; runs are ordered by original vertex id,
+//	        hub ids are in rank space. Version ≤ 2: one CHLF payload
+//	        (label.FlatIndex). Version 3: one CHLD payload packing the
+//	        forward and backward runs of a directed index
+//	        (label.WriteDirectedFlat).
 //
-// Version 2 inserts pad bytes sized so that the CHLF entries array lands
-// on an 8-byte boundary within the file, which lets LoadFlatMapped serve
-// the arrays zero-copy straight from a memory mapping. Version 1 files
-// (unpadded) are still read by the copying loader.
+// Versions 2 and 3 insert pad bytes sized so that the payload's entry
+// array(s) land on an 8-byte boundary within the file, which lets
+// LoadFlatMapped serve the arrays zero-copy straight from a memory
+// mapping. Version 1 files (unpadded, undirected) are still read by the
+// copying loader. Undirected indexes keep writing version 2, so their
+// files remain byte-identical across this change.
 //
-// See ARCHITECTURE.md for the byte-level layout of the CHLF payload.
+// See ARCHITECTURE.md for the byte-level layout of the CHLF and CHLD
+// payloads.
 var flatMagic = [4]byte{'C', 'H', 'F', 'X'}
 
 const (
-	flatVersion       = 2 // written; entries 8-byte aligned for mmap
-	flatVersionLegacy = 1 // still read: identical but unpadded
+	flatVersionDirected = 3 // written for directed indexes; CHLD payload
+	flatVersion         = 2 // written for undirected; entries 8-byte aligned for mmap
+	flatVersionLegacy   = 1 // still read: identical to 2 but unpadded
 )
 
-// flatPad returns the pad length for a flat file over n vertices: the
-// bytes between the pad-length byte and the permutation that bring the
-// CHLF entries array to an 8-byte file offset. Everything before the
-// entries — 6 header bytes, the pad, the 4+4n permutation, the 17-byte
-// CHLF header, the 4(n+1) offsets — sums to 31+pad (mod 8), so the pad is
-// the same for every n; the formula keeps the writer and the mapped
-// loader honest about why.
+// flatPad returns the pad length for an undirected flat file over n
+// vertices: the bytes between the pad-length byte and the permutation
+// that bring the CHLF entries array to an 8-byte file offset. Everything
+// before the entries — 6 header bytes, the pad, the 4+4n permutation,
+// the 17-byte CHLF header, the 4(n+1) offsets — sums to 31+pad (mod 8),
+// so the pad is the same for every n; the formula keeps the writer and
+// the mapped loader honest about why.
 func flatPad(n int) int {
 	pre := 6 + (4 + 4*n) + 17 + 4*(n+1)
 	return (8 - pre%8) % 8
 }
 
-// Save serializes the flat index (packed labels + ranking) to w.
+// flatPadDirected is flatPad for the version-3 directed layout: the
+// 25-byte CHLD header and the two 4(n+1)-byte offset arrays precede the
+// entry arrays, so everything before them sums to 43+12n+pad; both entry
+// arrays start 8-aligned when that total is a multiple of 8 (the
+// backward array follows the forward one at a multiple of 8 bytes).
+func flatPadDirected(n int) int {
+	pre := 6 + (4 + 4*n) + label.DirectedFlatHeaderBytes + 2*4*(n+1)
+	return (8 - pre%8) % 8
+}
+
+// Save serializes the flat index (packed labels + ranking) to w —
+// version 2 for undirected indexes, version 3 (both label halves) for
+// directed ones.
 func (fx *FlatIndex) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(flatMagic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(flatVersion); err != nil {
+	ver, pad := byte(flatVersion), flatPad(len(fx.perm))
+	if fx.bwd != nil {
+		ver, pad = flatVersionDirected, flatPadDirected(len(fx.perm))
+	}
+	if err := bw.WriteByte(ver); err != nil {
 		return err
 	}
-	pad := flatPad(len(fx.perm))
 	if err := bw.WriteByte(byte(pad)); err != nil {
 		return err
 	}
@@ -172,7 +194,11 @@ func (fx *FlatIndex) Save(w io.Writer) error {
 	if err := label.WritePerm(bw, fx.perm); err != nil {
 		return err
 	}
-	if _, err := fx.flat.WriteTo(bw); err != nil {
+	if fx.bwd != nil {
+		if _, err := label.WriteDirectedFlat(bw, fx.flat, fx.bwd); err != nil {
+			return err
+		}
+	} else if _, err := fx.flat.WriteTo(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -208,7 +234,7 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 	switch ver {
 	case flatVersionLegacy:
 		// No alignment pad.
-	case flatVersion:
+	case flatVersion, flatVersionDirected:
 		pad, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("chl: reading flat pad length: %w", err)
@@ -217,11 +243,21 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 			return nil, fmt.Errorf("chl: skipping flat pad: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersion)
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionDirected)
 	}
 	perm, err := label.ReadPerm(br)
 	if err != nil {
 		return nil, err
+	}
+	if ver == flatVersionDirected {
+		fwd, bwd, err := label.ReadDirectedFlat(br)
+		if err != nil {
+			return nil, err
+		}
+		if fwd.NumVertices() != len(perm) {
+			return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", fwd.NumVertices(), len(perm))
+		}
+		return &FlatIndex{flat: fwd, bwd: bwd, perm: perm}, nil
 	}
 	flat, err := label.ReadFlat(br)
 	if err != nil {
@@ -274,19 +310,21 @@ func LoadFlatMapped(path string) (*FlatIndex, error) {
 		return nil, fmt.Errorf("chl: bad flat index magic %q", hdr[:4])
 	}
 	off := int64(6)
+	directed := false
 	switch ver := hdr[4]; ver {
 	case flatVersionLegacy:
 		// Version 1 has no pad byte: hdr[5] was the first permutation
 		// byte. Its arrays are unaligned anyway, so don't bother
 		// rewinding — report not-mappable and let OpenFlat fall back.
 		return nil, fmt.Errorf("%w: CHFX version 1 predates alignment padding", label.ErrNotMappable)
-	case flatVersion:
+	case flatVersion, flatVersionDirected:
+		directed = ver == flatVersionDirected
 		off += int64(hdr[5])
 		if _, err := f.Seek(off, io.SeekStart); err != nil {
 			return nil, fmt.Errorf("chl: seeking past flat pad: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersion)
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionDirected)
 	}
 	var cnt [4]byte
 	if _, err := io.ReadFull(f, cnt[:]); err != nil {
@@ -315,6 +353,17 @@ func LoadFlatMapped(path string) (*FlatIndex, error) {
 	// Map from the SAME open descriptor the framing was read from: an
 	// atomic-rename deploy racing this load must not pair one inode's
 	// permutation with another's label arrays.
+	if directed {
+		fwd, bwd, closer, err := label.MapDirectedFlatFile(f, off)
+		if err != nil {
+			return nil, err
+		}
+		if fwd.NumVertices() != len(perm) {
+			closer()
+			return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", fwd.NumVertices(), len(perm))
+		}
+		return &FlatIndex{flat: fwd, bwd: bwd, perm: perm, close: closer, mapped: true}, nil
+	}
 	flat, closer, err := label.MapFlatFile(f, off)
 	if err != nil {
 		return nil, err

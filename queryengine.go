@@ -19,6 +19,12 @@ import (
 // persists — build once with Build, freeze, save, then serve many times
 // without rebuilding.
 //
+// A frozen directed index carries both label halves: forward runs (hubs
+// reachable from v) and backward runs (hubs that reach v). A directed
+// query u→v hub-joins forward(u) with backward(v) using the same packed
+// kernels; Query(u, v) and Query(v, u) are then different questions with
+// independently exact answers.
+//
 // Distances are packed as float32: exact for the integer edge weights of
 // every generated dataset and DIMACS graph, approximate beyond ~7
 // significant digits otherwise.
@@ -26,14 +32,32 @@ type FlatIndex struct {
 	// flat holds the packed runs in ORIGINAL-id order (freezing applies
 	// the permutation once), so the serving path needs no per-query rank
 	// translation; hub ids inside the entries stay in rank space, which
-	// is all the merge- and hash-joins compare.
+	// is all the merge- and hash-joins compare. For directed indexes it
+	// holds the forward runs.
 	flat *label.FlatIndex
+	// bwd holds the backward runs of a directed index (same vertex
+	// space and ordering as flat); nil for undirected indexes.
+	bwd  *label.FlatIndex
 	perm []int // rank -> original id, for reporting witness hubs
 
 	// Set by LoadFlatMapped: the arrays alias a memory-mapped file that
 	// close releases. Heap-backed indexes leave both zero.
 	close  func() error
 	mapped bool
+}
+
+// Directed reports whether the index holds directed (forward + backward)
+// label runs.
+func (fx *FlatIndex) Directed() bool { return fx.bwd != nil }
+
+// backward returns the store the backward run of a vertex comes from:
+// the backward half for directed indexes, the single (symmetric) store
+// for undirected ones.
+func (fx *FlatIndex) backward() *label.FlatIndex {
+	if fx.bwd != nil {
+		return fx.bwd
+	}
+	return fx.flat
 }
 
 // Mapped reports whether the index serves zero-copy from a memory-mapped
@@ -60,11 +84,23 @@ func (fx *FlatIndex) Close() error {
 	return c()
 }
 
-// Freeze packs the index into its flat serving form. Directed indexes are
-// not yet supported.
+// Freeze packs the index into its flat serving form. A directed index
+// freezes both label halves (forward and backward runs per vertex); the
+// resulting FlatIndex answers the same ordered queries the in-memory
+// index does.
 func (ix *Index) Freeze() (*FlatIndex, error) {
 	if ix.directed != nil {
-		return nil, fmt.Errorf("chl: Freeze supports undirected indexes only")
+		fwd := label.NewIndex(ix.n)
+		bwd := label.NewIndex(ix.n)
+		for v := 0; v < ix.n; v++ {
+			fwd.SetLabels(v, ix.directed.Forward.Labels(ix.rank[v])) // aliases, read-only
+			bwd.SetLabels(v, ix.directed.Backward.Labels(ix.rank[v]))
+		}
+		return &FlatIndex{
+			flat: label.Freeze(fwd),
+			bwd:  label.Freeze(bwd),
+			perm: append([]int(nil), ix.perm...),
+		}, nil
 	}
 	reordered := label.NewIndex(ix.n)
 	for v := 0; v < ix.n; v++ {
@@ -79,27 +115,50 @@ func (ix *Index) Freeze() (*FlatIndex, error) {
 // NumVertices returns the number of vertices the index covers.
 func (fx *FlatIndex) NumVertices() int { return fx.flat.NumVertices() }
 
-// TotalLabels returns the packed label count.
-func (fx *FlatIndex) TotalLabels() int64 { return fx.flat.NumLabels() }
+// TotalLabels returns the packed label count (both halves for directed
+// indexes).
+func (fx *FlatIndex) TotalLabels() int64 {
+	t := fx.flat.NumLabels()
+	if fx.bwd != nil {
+		t += fx.bwd.NumLabels()
+	}
+	return t
+}
 
 // TotalMemory returns the byte footprint of the packed arrays (8 bytes per
 // label + 4 per vertex, versus 16 per label plus a slice header per vertex
 // for the slice-based Index).
-func (fx *FlatIndex) TotalMemory() int64 { return fx.flat.TotalMemory() }
+func (fx *FlatIndex) TotalMemory() int64 {
+	t := fx.flat.TotalMemory()
+	if fx.bwd != nil {
+		t += fx.bwd.TotalMemory()
+	}
+	return t
+}
 
 // Query returns the exact shortest-path distance between original vertex
-// ids u and v, or Infinity if unreachable.
+// ids u and v (the u→v distance on directed indexes), or Infinity if
+// unreachable.
 func (fx *FlatIndex) Query(u, v int) float64 {
+	if fx.bwd != nil {
+		d, _, _ := label.JoinPacked(fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
+		return d
+	}
 	return fx.flat.Query(u, v)
 }
 
 // QueryHub additionally reports the witness hub (as an original id).
 func (fx *FlatIndex) QueryHub(u, v int) (dist float64, hub int, ok bool) {
-	d, h, ok := fx.flat.QueryHub(u, v)
-	if !ok {
-		return d, 0, false
+	var h uint32
+	if fx.bwd != nil {
+		dist, h, ok = label.JoinPacked(fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
+	} else {
+		dist, h, ok = fx.flat.QueryHub(u, v)
 	}
-	return d, fx.perm[h], true
+	if !ok {
+		return dist, 0, false
+	}
+	return dist, fx.perm[h], true
 }
 
 // QueryScratch is a per-worker probe buffer for FlatIndex.QueryWith /
@@ -115,6 +174,10 @@ func (fx *FlatIndex) NewScratch() *QueryScratch {
 // instead of a merge-join — the fast path for serving loops, worth ~2× on
 // indexes whose scratch stays cache-resident (see label.FlatIndex).
 func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
+	if fx.bwd != nil {
+		d, _, _ := label.JoinPackedWith(s, fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
+		return d
+	}
 	return fx.flat.QueryWith(s, u, v)
 }
 
@@ -122,11 +185,16 @@ func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
 // the kernel cached engines use to fill cache entries at hash-join
 // speed.
 func (fx *FlatIndex) QueryHubWith(s *QueryScratch, u, v int) (dist float64, hub int, ok bool) {
-	d, h, ok := fx.flat.QueryHubWith(s, u, v)
-	if !ok {
-		return d, 0, false
+	var h uint32
+	if fx.bwd != nil {
+		dist, h, ok = label.JoinPackedWith(s, fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
+	} else {
+		dist, h, ok = fx.flat.QueryHubWith(s, u, v)
 	}
-	return d, fx.perm[h], true
+	if !ok {
+		return dist, 0, false
+	}
+	return dist, fx.perm[h], true
 }
 
 // Thaw unpacks the flat store back into a queryable Index (labels only —
@@ -137,16 +205,26 @@ func (fx *FlatIndex) Thaw() *Index {
 	for pos, v := range fx.perm {
 		rank[v] = pos
 	}
+	ix := &Index{
+		n:    n,
+		perm: append([]int(nil), fx.perm...),
+		rank: rank,
+	}
+	if fx.bwd != nil {
+		fwd, bwd := label.NewIndex(n), label.NewIndex(n)
+		for v := 0; v < n; v++ {
+			fwd.SetLabels(rank[v], fx.flat.Labels(v))
+			bwd.SetLabels(rank[v], fx.bwd.Labels(v))
+		}
+		ix.directed = &label.DirectedIndex{Forward: fwd, Backward: bwd}
+		return ix
+	}
 	ranked := label.NewIndex(n)
 	for v := 0; v < n; v++ {
 		ranked.SetLabels(rank[v], fx.flat.Labels(v))
 	}
-	return &Index{
-		n:      n,
-		ranked: ranked,
-		perm:   append([]int(nil), fx.perm...),
-		rank:   rank,
-	}
+	ix.ranked = ranked
+	return ix
 }
 
 // BatchEngine serves point-to-point shortest-distance queries from a
@@ -159,8 +237,8 @@ type BatchEngine struct {
 	cache   *Cache // nil: uncached (the default)
 }
 
-// NewBatchEngine freezes ix (undirected only) and returns a parallel batch
-// serving engine over it.
+// NewBatchEngine freezes ix (directed or undirected) and returns a
+// parallel batch serving engine over it.
 func NewBatchEngine(ix *Index) (*BatchEngine, error) {
 	fx, err := ix.Freeze()
 	if err != nil {
@@ -183,8 +261,23 @@ func (e *BatchEngine) Index() *FlatIndex { return e.fx }
 // label arrays; misses fall through to the join kernels and populate the
 // cache with the full answer (distance + witness hub). The cache must
 // only ever hold answers from this engine's index — on an index swap,
-// start a fresh cache (Server does this per snapshot).
-func (e *BatchEngine) SetCache(c *Cache) { e.cache = c }
+// start a fresh cache (Server does this per snapshot) — and its key
+// ordering must match the index's directedness (NewDirectedCache for
+// directed indexes): an unordered cache would silently serve d(v→u) for
+// d(u→v), so a mismatch panics rather than corrupting answers.
+func (e *BatchEngine) SetCache(c *Cache) {
+	if c != nil && c.directed != e.fx.Directed() {
+		panic("chl: cache key ordering does not match the engine's directedness (use NewDirectedCache for directed indexes)")
+	}
+	e.cache = c
+}
+
+// newCacheFor builds the answer cache matching fx's directedness — the
+// constructor every serving tier funnels through so a directed index can
+// never be fronted by an unordered cache.
+func newCacheFor(fx *FlatIndex, capacity int) *Cache {
+	return newCache(capacity, fx.Directed())
+}
 
 // Cache returns the engine's attached cache, or nil.
 func (e *BatchEngine) Cache() *Cache { return e.cache }
@@ -259,23 +352,27 @@ func (e *BatchEngine) BatchInto(dst []float64, pairs []QueryPair) {
 // and the sequential merge-join wins.
 const hashServeMaxVertices = 1 << 17
 
+// serveRange answers one worker's contiguous slice of a batch. Every
+// kernel goes through the FlatIndex methods, which answer undirected
+// queries on the single run store and directed ones as the forward(u) ×
+// backward(v) hub join — one cache and scratch-size policy for both.
 func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
-	flat := e.fx.flat
+	fx := e.fx
 	if e.cache != nil {
 		// Cached path: each worker consults the shared sharded cache and
 		// computes misses with a hub-reporting kernel, so the cache
 		// always holds the complete answer (/dist can reuse a /batch
 		// miss and vice versa). Misses keep the hash-join fast path
 		// whenever the uncached engine would use it.
-		if flat.NumVertices() <= hashServeMaxVertices {
-			s := label.NewQueryScratch(flat.NumVertices())
+		if fx.flat.NumVertices() <= hashServeMaxVertices {
+			s := label.NewQueryScratch(fx.flat.NumVertices())
 			for i := lo; i < hi; i++ {
 				p := pairs[i]
 				if a, hit := e.cache.Get(p.U, p.V); hit {
 					dst[i] = a.Dist
 					continue
 				}
-				d, h, ok := e.fx.QueryHubWith(s, p.U, p.V)
+				d, h, ok := fx.QueryHubWith(s, p.U, p.V)
 				e.cache.Put(p.U, p.V, Answer{Dist: d, Hub: h, Reachable: ok})
 				dst[i] = d
 			}
@@ -287,15 +384,15 @@ func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
 		}
 		return
 	}
-	if flat.NumVertices() <= hashServeMaxVertices {
-		s := label.NewQueryScratch(flat.NumVertices()) // per-worker probe buffer
+	if fx.flat.NumVertices() <= hashServeMaxVertices {
+		s := label.NewQueryScratch(fx.flat.NumVertices()) // per-worker probe buffer
 		for i := lo; i < hi; i++ {
-			dst[i] = flat.QueryWith(s, pairs[i].U, pairs[i].V)
+			dst[i] = fx.QueryWith(s, pairs[i].U, pairs[i].V)
 		}
 		return
 	}
 	for i := lo; i < hi; i++ {
-		dst[i] = flat.Query(pairs[i].U, pairs[i].V)
+		dst[i] = fx.Query(pairs[i].U, pairs[i].V)
 	}
 }
 
@@ -329,11 +426,12 @@ type QueryEngine struct {
 // NewQueryEngine deploys the index's labels across q simulated nodes.
 // ModeQFDL requires an index built by a distributed algorithm (it reuses
 // the generator-node partitions); QLSN and QDOL work with any undirected
-// index. Directed indexes are not yet supported by the distributed query
-// engines.
+// index. Directed indexes are not supported by the simulated engines —
+// they serve through the flat stack (Freeze/BatchEngine, Server, Router),
+// which handles them end to end.
 func NewQueryEngine(ix *Index, mode QueryMode, q int) (*QueryEngine, error) {
 	if ix.directed != nil {
-		return nil, fmt.Errorf("chl: query engines support undirected indexes only")
+		return nil, fmt.Errorf("chl: the simulated query engines support undirected indexes only; directed indexes serve through Freeze/BatchEngine, Server, or Router")
 	}
 	var perNode []*label.Index
 	if mode == ModeQFDL {

@@ -40,6 +40,14 @@ import (
 // shards' entry arrays and the join kernels are shared (label.JoinPacked
 // / JoinPackedWith).
 //
+// Directed clusters (a v3 manifest with directed=true, split from a
+// directed index) serve the same API with ordered semantics: /dist?u=&v=
+// is the u→v distance. Same-shard queries forward unchanged (the shard's
+// engine joins forward(u) × backward(v) locally); cross-shard queries
+// fetch u's forward row from u's shard and v's BACKWARD row from v's,
+// and the answer cache keys on ordered pairs so d(u→v) can never serve
+// for d(v→u).
+//
 // Each shard may be served by a replica group — several processes over
 // the same slice file (a v2 manifest's replica_addrs, or
 // RouterConfig.ReplicaAddrs). The router load-balances every shard
@@ -71,10 +79,17 @@ import (
 // (see ClusterError). Use Health for the per-replica view the /healthz
 // endpoint serves.
 type Router struct {
-	n      int
-	part   *shard.Partition
-	shards []*shardClient
-	client *http.Client
+	n    int
+	part *shard.Partition
+	// directed mirrors the manifest's flag: the cluster serves a
+	// directed index, so the answer cache keys on ordered pairs and
+	// cross-shard joins fetch forward(u) from u's shard and backward(v)
+	// from v's. Every /shardquery response echoes the shard's own
+	// directedness and a mismatch is a terminal error — manifest drift
+	// must be loud, not silently wrong joins.
+	directed bool
+	shards   []*shardClient
+	client   *http.Client
 
 	cacheSize int
 	state     atomic.Pointer[routerState]
@@ -417,6 +432,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	r := &Router{
 		n:          cfg.Manifest.Vertices,
 		part:       part,
+		directed:   cfg.Manifest.Directed,
 		client:     client,
 		cacheSize:  cfg.CacheSize,
 		ejectAfter: ejectAfter,
@@ -441,14 +457,21 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	r.state.Store(&routerState{
 		idents: idents,
-		cache:  NewCache(cfg.CacheSize),
+		cache:  r.newAnswerCache(),
 	})
 	r.scratch.New = func() any { return label.NewQueryScratch(r.n) }
 	return r, nil
 }
 
+// newAnswerCache builds a cluster-level answer cache matching the
+// cluster's directedness (ordered keys for directed clusters).
+func (r *Router) newAnswerCache() *Cache { return newCache(r.cacheSize, r.directed) }
+
 // NumVertices returns the vertex-id space the cluster serves.
 func (r *Router) NumVertices() int { return r.n }
+
+// Directed reports whether the cluster serves a directed index.
+func (r *Router) Directed() bool { return r.directed }
 
 // hubUnknown marks a cached answer whose witness hub was never computed
 // (batch paths only need distances). QueryHub treats such hits as misses.
@@ -534,9 +557,19 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 	}
 
 	// Group the misses: same-shard sub-batches and cross-shard row needs.
+	// On a directed cluster a cross pair (u,v) needs u's forward row and
+	// v's backward row; undirected clusters need only (symmetric) forward
+	// rows for both endpoints.
 	direct := map[int][]int{} // shard id -> indexes into pairs
 	cross := make([]int, 0)
-	needed := map[int]map[int]struct{}{} // shard id -> vertex set
+	needF := map[int]map[int]struct{}{} // shard id -> forward-row vertex set
+	needB := map[int]map[int]struct{}{} // shard id -> backward-row vertex set (directed)
+	addNeed := func(m map[int]map[int]struct{}, s, v int) {
+		if m[s] == nil {
+			m[s] = map[int]struct{}{}
+		}
+		m[s][v] = struct{}{}
+	}
 	for _, i := range pending {
 		p := pairs[i]
 		su, sv := r.part.Owner(p.U), r.part.Owner(p.V)
@@ -545,20 +578,22 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 			continue
 		}
 		cross = append(cross, i)
-		for _, need := range []struct{ s, v int }{{su, p.U}, {sv, p.V}} {
-			if needed[need.s] == nil {
-				needed[need.s] = map[int]struct{}{}
-			}
-			needed[need.s][need.v] = struct{}{}
+		addNeed(needF, su, p.U)
+		if r.directed {
+			addNeed(needB, sv, p.V)
+		} else {
+			addNeed(needF, sv, p.V)
 		}
 	}
 
-	// Fan out: one /batch per direct shard, one /shardquery per row shard.
+	// Fan out: one /batch per direct shard, one /shardquery per row shard
+	// (carrying that shard's forward and backward needs together).
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		fails    []*ShardError
-		rows     = map[int][]uint64{}  // vertex -> decoded packed run
+		rowsF    = map[int][]uint64{}  // vertex -> decoded forward packed run
+		rowsB    = map[int][]uint64{}  // vertex -> decoded backward packed run
 		obs      = map[repRef]genObs{} // replica -> observed snapshot identity
 		conflict bool                  // one replica answered under two identities
 	)
@@ -599,27 +634,40 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 			observe(repRef{sid, rep.id}, o, nil)
 		}(sid, idxs)
 	}
-	for sid, verts := range needed {
+	rowShards := map[int]struct{}{}
+	for sid := range needF {
+		rowShards[sid] = struct{}{}
+	}
+	for sid := range needB {
+		rowShards[sid] = struct{}{}
+	}
+	sortedVerts := func(verts map[int]struct{}) []int {
+		vs := make([]int, 0, len(verts))
+		for v := range verts {
+			vs = append(vs, v)
+		}
+		sort.Ints(vs)
+		return vs
+	}
+	for sid := range rowShards {
 		wg.Add(1)
-		go func(sid int, verts map[int]struct{}) {
+		go func(sid int) {
 			defer wg.Done()
-			vs := make([]int, 0, len(verts))
-			for v := range verts {
-				vs = append(vs, v)
-			}
-			sort.Ints(vs)
-			got, rep, o, err := r.fetchRows(sid, vs)
+			gotF, gotB, rep, o, err := r.fetchRows(sid, sortedVerts(needF[sid]), sortedVerts(needB[sid]))
 			if err != nil {
 				observe(repRef{}, genObs{}, err)
 				return
 			}
 			mu.Lock()
-			for v, run := range got {
-				rows[v] = run
+			for v, run := range gotF {
+				rowsF[v] = run
+			}
+			for v, run := range gotB {
+				rowsB[v] = run
 			}
 			mu.Unlock()
 			observe(repRef{sid, rep.id}, o, nil)
-		}(sid, verts)
+		}(sid)
 	}
 	wg.Wait()
 	if len(fails) > 0 {
@@ -637,14 +685,18 @@ func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
 	}
 	for _, i := range cross {
 		p := pairs[i]
+		a, b := rowsF[p.U], rowsF[p.V]
+		if r.directed {
+			b = rowsB[p.V]
+		}
 		var (
 			d  float64
 			ok bool
 		)
 		if useScratch {
-			d, _, ok = label.JoinPackedWith(s, rows[p.U], rows[p.V])
+			d, _, ok = label.JoinPackedWith(s, a, b)
 		} else {
-			d, _, ok = label.JoinPacked(rows[p.U], rows[p.V])
+			d, _, ok = label.JoinPacked(a, b)
 		}
 		if !ok {
 			d = Infinity
@@ -784,7 +836,7 @@ func (r *Router) noteGenerations(obs map[repRef]genObs) {
 			}
 		}
 		if changed {
-			next.cache = NewCache(r.cacheSize)
+			next.cache = r.newAnswerCache()
 		}
 		if r.state.CompareAndSwap(st, next) {
 			if changed {
@@ -930,6 +982,17 @@ func decodeReplicaResponse(resp *http.Response, out any) error {
 	return nil
 }
 
+// checkDirected rejects a shard response whose slice directedness
+// disagrees with the manifest — on every routed path, same-shard
+// forwards included: a directed router accepting an undirected shard's
+// symmetric answer would cache d(u,v) as d(u→v), silently wrong.
+func (r *Router) checkDirected(rep *replica, directed bool) *ShardError {
+	if directed == r.directed {
+		return nil
+	}
+	return r.terminalErr(rep, fmt.Errorf("shard serves directed=%v but the manifest says directed=%v — mismatched index files?", directed, r.directed))
+}
+
 // fetchDist forwards a same-shard query whole; the shard answers from its
 // local runs and cache, witness hub included.
 func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, bool, error) {
@@ -939,6 +1002,7 @@ func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, 
 		Hub        int     `json:"hub"`
 		Generation uint64  `json:"generation"`
 		Epoch      uint64  `json:"epoch"`
+		Directed   bool    `json:"directed"`
 	}
 	rep, serr := r.getJSON(sid, fmt.Sprintf("/dist?u=%d&v=%d", u, v), &resp)
 	if serr != nil {
@@ -946,6 +1010,9 @@ func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, 
 	}
 	if resp.Generation == 0 {
 		return 0, 0, false, &ClusterError{Failed: []*ShardError{r.terminalErr(rep, errNotShardBackend)}}
+	}
+	if serr := r.checkDirected(rep, resp.Directed); serr != nil {
+		return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
 	}
 	rep.lastGen.Store(resp.Generation)
 	obs[repRef{sid, rep.id}] = genObs{epoch: resp.Epoch, gen: resp.Generation}
@@ -966,6 +1033,7 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 		Dists      []float64 `json:"dists"`
 		Generation uint64    `json:"generation"`
 		Epoch      uint64    `json:"epoch"`
+		Directed   bool      `json:"directed"`
 	}
 	rep, serr := r.postJSON(sid, "/batch", body, &resp)
 	if serr != nil {
@@ -977,6 +1045,9 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 	if resp.Generation == 0 {
 		return nil, nil, genObs{}, r.terminalErr(rep, errNotShardBackend)
 	}
+	if serr := r.checkDirected(rep, resp.Directed); serr != nil {
+		return nil, nil, genObs{}, serr
+	}
 	for i, d := range resp.Dists {
 		if d == -1 {
 			resp.Dists[i] = Infinity
@@ -986,37 +1057,51 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 	return resp.Dists, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
 }
 
-// fetchRows fetches and validates the packed label rows of vs from shard
-// sid, returning the replica that served them (witness-rank resolution
-// must go back to that exact process; see crossQueryHub).
-func (r *Router) fetchRows(sid int, vs []int) (map[int][]uint64, *replica, genObs, *ShardError) {
+// fetchRows fetches and validates packed label rows from shard sid —
+// forward runs for fwd, backward runs for bwd (directed clusters only) —
+// returning the replica that served them (witness-rank resolution must
+// go back to that exact process; see crossQueryHub).
+func (r *Router) fetchRows(sid int, fwd, bwd []int) (rowsF, rowsB map[int][]uint64, rep *replica, o genObs, serr *ShardError) {
 	var resp shardQueryResponse
-	rep, serr := r.postJSON(sid, "/shardquery", shardQueryRequest{Vertices: vs}, &resp)
+	rep, serr = r.postJSON(sid, "/shardquery", shardQueryRequest{Vertices: fwd, Backward: bwd}, &resp)
 	if serr != nil {
-		return nil, nil, genObs{}, serr
+		return nil, nil, nil, genObs{}, serr
 	}
 	if resp.Generation == 0 {
-		return nil, nil, genObs{}, r.terminalErr(rep, errNotShardBackend)
+		return nil, nil, nil, genObs{}, r.terminalErr(rep, errNotShardBackend)
 	}
-	// A shard serving a file over the wrong vertex space (manifest drift)
-	// must be a loud error, not silently wrong joins.
+	// A shard serving a file over the wrong vertex space or the wrong
+	// directedness (manifest drift) must be a loud error, not silently
+	// wrong joins.
 	if resp.Vertices != r.n {
-		return nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("shard serves %d vertices but the manifest says %d — mismatched index files?", resp.Vertices, r.n))
+		return nil, nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("shard serves %d vertices but the manifest says %d — mismatched index files?", resp.Vertices, r.n))
 	}
-	rows := make(map[int][]uint64, len(vs))
-	for _, v := range vs {
-		enc, found := resp.Rows[strconv.Itoa(v)]
-		if !found {
-			return nil, nil, genObs{}, r.terminalErr(rep, fmt.Errorf("row for vertex %d missing from response", v))
+	if serr := r.checkDirected(rep, resp.Directed); serr != nil {
+		return nil, nil, nil, genObs{}, serr
+	}
+	decode := func(vs []int, got map[string]string, side string) (map[int][]uint64, *ShardError) {
+		rows := make(map[int][]uint64, len(vs))
+		for _, v := range vs {
+			enc, found := got[strconv.Itoa(v)]
+			if !found {
+				return nil, r.terminalErr(rep, fmt.Errorf("%s row for vertex %d missing from response", side, v))
+			}
+			run, err := decodePackedRun(enc, r.n)
+			if err != nil {
+				return nil, r.terminalErr(rep, err)
+			}
+			rows[v] = run
 		}
-		run, err := decodePackedRun(enc, r.n)
-		if err != nil {
-			return nil, nil, genObs{}, r.terminalErr(rep, err)
-		}
-		rows[v] = run
+		return rows, nil
+	}
+	if rowsF, serr = decode(fwd, resp.Rows, "forward"); serr != nil {
+		return nil, nil, nil, genObs{}, serr
+	}
+	if rowsB, serr = decode(bwd, resp.BackRows, "backward"); serr != nil {
+		return nil, nil, nil, genObs{}, serr
 	}
 	rep.lastGen.Store(resp.Generation)
-	return rows, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	return rowsF, rowsB, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
 }
 
 // resolveRankOn translates a rank-space hub to its original vertex id on
@@ -1079,23 +1164,35 @@ func (r *Router) crossQueryHub(su, sv, u, v int, obs map[repRef]genObs, needHub 
 			obsU  genObs
 			obsV  genObs
 		)
-		fetch := func(sid, vertex int, dst *[]uint64, dstRep **replica, rowObs *genObs) {
+		fetch := func(sid, vertex int, backward bool, dst *[]uint64, dstRep **replica, rowObs *genObs) {
 			defer wg.Done()
-			rows, rep, o, err := r.fetchRows(sid, []int{vertex})
+			var fwd, bwd []int
+			if backward {
+				bwd = []int{vertex}
+			} else {
+				fwd = []int{vertex}
+			}
+			rowsF, rowsB, rep, o, err := r.fetchRows(sid, fwd, bwd)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				fails = append(fails, err)
 				return
 			}
-			*dst = rows[vertex]
+			if backward {
+				*dst = rowsB[vertex]
+			} else {
+				*dst = rowsF[vertex]
+			}
 			*dstRep = rep
 			*rowObs = o
 			obs[repRef{sid, rep.id}] = o
 		}
+		// Directed clusters join forward(u) with backward(v); undirected
+		// ones use the (symmetric) forward runs for both sides.
 		wg.Add(2)
-		go fetch(su, u, &rowU, &repU, &obsU)
-		go fetch(sv, v, &rowV, &repV, &obsV)
+		go fetch(su, u, false, &rowU, &repU, &obsU)
+		go fetch(sv, v, r.directed, &rowV, &repV, &obsV)
 		wg.Wait()
 		if len(fails) > 0 {
 			sort.Slice(fails, func(i, j int) bool { return fails[i].Shard < fails[j].Shard })
@@ -1245,6 +1342,7 @@ type RouterShardStats struct {
 // RouterStats is the router's /stats response.
 type RouterStats struct {
 	Vertices      int                `json:"vertices"`
+	Directed      bool               `json:"directed"`
 	Shards        []RouterShardStats `json:"shards"`
 	Queries       int64              `json:"queries_total"`
 	CrossJoins    int64              `json:"cross_joins_total"`
@@ -1258,6 +1356,7 @@ type RouterStats struct {
 func (r *Router) Stats() RouterStats {
 	out := RouterStats{
 		Vertices:      r.n,
+		Directed:      r.directed,
 		Queries:       r.queries.Load(),
 		CrossJoins:    r.crossJoins.Load(),
 		Failovers:     r.failovers.Load(),
@@ -1321,7 +1420,10 @@ func (r *Router) Handler() http.Handler {
 func routeError(w http.ResponseWriter, err error) {
 	var vr *VertexRangeError
 	if errors.As(err, &vr) {
-		httpError(w, http.StatusBadRequest, vr.Error())
+		// Same body, byte for byte, as the shard tier's /dist range check
+		// (see Server.handleDist): clients must see one error schema no
+		// matter which tier rejected them.
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", vr.N))
 		return
 	}
 	var ce *ClusterError
@@ -1490,6 +1592,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", promContentType)
 	r.metrics.writeTo(w, "chl_router")
 	promGauge(w, "chl_router_vertices", "Vertex-id space served by the cluster.", float64(st.Vertices))
+	promGauge(w, "chl_router_directed", "1 when the cluster serves a directed index.", boolGauge(st.Directed))
 	promGauge(w, "chl_router_shard_count", "Shards behind this router.", float64(len(st.Shards)))
 	promGauge(w, "chl_router_uptime_seconds", "Seconds since the router started.", st.UptimeSeconds)
 	promCounter(w, "chl_router_queries_total", "Queries routed.", st.Queries)

@@ -107,6 +107,11 @@ type Server struct {
 	part    *shard.Partition
 	shardN  int
 	owned   []uint64 // ownership bitmap over [0,shardN), built once by SetShard
+	// shardDirected pins the directedness of the slice this shard serves
+	// (recorded by SetShard): a reload must not swap a directed slice for
+	// an undirected one or vice versa — the router's join protocol and
+	// cache keying depend on every shard agreeing.
+	shardDirected bool
 
 	// prefault asks reload to fault a fresh mapping fully in before the
 	// swap (FlatIndex.Prefault), trading reload latency for a warm first
@@ -184,6 +189,7 @@ func (s *Server) SetShard(id int, p *shard.Partition) error {
 		}
 	}
 	s.shardID, s.part, s.shardN, s.owned = id, p, n, owned
+	s.shardDirected = sn.fx.Directed()
 	if err := s.checkShardFile(sn.fx); err != nil {
 		s.shardID, s.part, s.shardN, s.owned = -1, nil, 0, nil
 		return err
@@ -205,9 +211,19 @@ func (s *Server) checkShardFile(fx *FlatIndex) error {
 	if n != s.shardN {
 		return fmt.Errorf("chl: index covers %d vertices but this shard serves a %d-vertex cluster", n, s.shardN)
 	}
+	if fx.Directed() != s.shardDirected {
+		return fmt.Errorf("chl: index directed=%v but this shard serves a directed=%v cluster — wrong shard file?", fx.Directed(), s.shardDirected)
+	}
 	for v := 0; v < n; v++ {
 		if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.flat.LabelCount(v) > 0 {
 			return fmt.Errorf("chl: index holds labels for vertex %d, which shard %d does not own — wrong shard file, or a file from a re-split cluster?", v, s.shardID)
+		}
+	}
+	if fx.bwd != nil {
+		for v := 0; v < n; v++ {
+			if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.bwd.LabelCount(v) > 0 {
+				return fmt.Errorf("chl: index holds backward labels for vertex %d, which shard %d does not own — wrong shard file, or a file from a re-split cluster?", v, s.shardID)
+			}
 		}
 	}
 	return nil
@@ -239,7 +255,7 @@ func (s *Server) owns(v int) bool {
 // last in-flight query releases).
 func (s *Server) install(fx *FlatIndex, path string) *Snapshot {
 	eng := NewBatchEngineFlat(fx)
-	eng.SetCache(NewCache(s.cacheSize))
+	eng.SetCache(newCacheFor(fx, s.cacheSize))
 	sn := &Snapshot{
 		fx:       fx,
 		eng:      eng,
@@ -375,6 +391,7 @@ type ServerStats struct {
 	Labels        int64       `json:"labels"`
 	MemoryBytes   int64       `json:"memory_bytes"`
 	Mapped        bool        `json:"mapped"`
+	Directed      bool        `json:"directed"`
 	Path          string      `json:"path,omitempty"`
 	Generation    uint64      `json:"generation"`
 	LoadedAt      time.Time   `json:"loaded_at"`
@@ -400,6 +417,7 @@ func (s *Server) Stats() ServerStats {
 		Labels:        sn.fx.TotalLabels(),
 		MemoryBytes:   sn.fx.TotalMemory(),
 		Mapped:        sn.fx.Mapped(),
+		Directed:      sn.fx.Directed(),
 		Path:          sn.path,
 		Generation:    sn.gen,
 		LoadedAt:      sn.loadedAt,
@@ -461,9 +479,12 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 	d, hub, ok := sn.eng.QueryHub(u, v)
 	resp := map[string]any{"u": u, "v": v, "reachable": ok}
 	if s.part != nil {
-		// Snapshot identity for the router's cache retirement; plain
-		// servers keep the documented public schema.
+		// Snapshot identity for the router's cache retirement, plus the
+		// slice's directedness so the router can reject drift on the
+		// same-shard path too; plain servers keep the documented public
+		// schema.
 		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+		resp["directed"] = sn.fx.Directed()
 	}
 	if ok {
 		resp["dist"] = d
@@ -516,6 +537,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"dists": dists}
 	if s.part != nil {
 		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+		resp["directed"] = sn.fx.Directed()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -616,9 +638,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // shardQueryRequest is the POST /shardquery body: label-row fetches for
 // the router's cross-shard hub joins, plus rank→original-id resolution
-// for reporting witness hubs. Either list may be empty.
+// for reporting witness hubs. Vertices asks for forward rows, Backward
+// for backward rows (identical to forward on undirected shards — the
+// halves coincide); a directed cross-shard query u→v fetches forward(u)
+// from u's shard and backward(v) from v's. Any list may be empty.
 type shardQueryRequest struct {
 	Vertices []int `json:"vertices,omitempty"`
+	Backward []int `json:"backward,omitempty"`
 	Resolve  []int `json:"resolve,omitempty"`
 }
 
@@ -626,13 +652,18 @@ type shardQueryRequest struct {
 // row is the vertex's entries array slice — little-endian uint64 words,
 // hub (rank space) in the high 32 bits, float32 distance bits in the low
 // 32 — base64-encoded so the bytes cross the wire exactly as they sit in
-// the shard's (usually memory-mapped) index. Generation lets the router
-// detect shard reloads and retire its answer cache.
+// the shard's (usually memory-mapped) index. Rows answers Vertices
+// (forward runs), BackRows answers Backward. Directed echoes the served
+// slice's directedness so the router can fail loudly on a cluster whose
+// manifest and shard files disagree. Generation lets the router detect
+// shard reloads and retire its answer cache.
 type shardQueryResponse struct {
 	Generation uint64            `json:"generation"`
 	Epoch      uint64            `json:"epoch"`
 	Vertices   int               `json:"n"`
+	Directed   bool              `json:"directed,omitempty"`
 	Rows       map[string]string `json:"rows,omitempty"`
+	BackRows   map[string]string `json:"back_rows,omitempty"`
 	Resolved   map[string]int    `json:"resolved,omitempty"`
 }
 
@@ -666,7 +697,7 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	sn := s.Acquire()
 	defer sn.Release()
 	n := sn.fx.NumVertices()
-	resp := shardQueryResponse{Generation: sn.gen, Epoch: s.epoch, Vertices: n}
+	resp := shardQueryResponse{Generation: sn.gen, Epoch: s.epoch, Vertices: n, Directed: sn.fx.Directed()}
 	if len(req.Vertices) > 0 {
 		resp.Rows = make(map[string]string, len(req.Vertices))
 	}
@@ -681,6 +712,20 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Rows[strconv.Itoa(v)] = encodePackedRun(sn.fx.flat.PackedRun(v))
 	}
+	if len(req.Backward) > 0 {
+		resp.BackRows = make(map[string]string, len(req.Backward))
+	}
+	for _, v := range req.Backward {
+		if v < 0 || v >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex id %d out of range [0,%d)", v, n))
+			return
+		}
+		if !s.owns(v) {
+			s.misdirected(w, v)
+			return
+		}
+		resp.BackRows[strconv.Itoa(v)] = encodePackedRun(sn.fx.backward().PackedRun(v))
+	}
 	if len(req.Resolve) > 0 {
 		resp.Resolved = make(map[string]int, len(req.Resolve))
 	}
@@ -691,7 +736,7 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Resolved[strconv.Itoa(rank)] = sn.fx.perm[rank]
 	}
-	s.queries.Add(int64(len(req.Vertices)))
+	s.queries.Add(int64(len(req.Vertices) + len(req.Backward)))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -730,6 +775,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promGauge(w, "chl_index_labels", "Labels in the served index.", float64(st.Labels))
 	promGauge(w, "chl_index_memory_bytes", "Byte footprint of the served label arrays.", float64(st.MemoryBytes))
 	promGauge(w, "chl_index_mapped", "1 when the index is served from a memory mapping.", boolGauge(st.Mapped))
+	promGauge(w, "chl_index_directed", "1 when the served index holds directed (forward/backward) labels.", boolGauge(st.Directed))
 	promGauge(w, "chl_index_generation", "Current snapshot generation.", float64(st.Generation))
 	promGauge(w, "chl_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
 	promCounter(w, "chl_queries_total", "Point-to-point queries answered.", st.Queries)

@@ -27,10 +27,18 @@ func (fx *FlatIndex) Shard(p *shard.Partition, id int) (*FlatIndex, error) {
 	if id < 0 || id >= p.Shards() {
 		return nil, fmt.Errorf("chl: shard id %d out of range [0,%d)", id, p.Shards())
 	}
-	return &FlatIndex{
-		flat: fx.flat.Slice(func(v int) bool { return p.Owner(v) == id }),
+	keep := func(v int) bool { return p.Owner(v) == id }
+	out := &FlatIndex{
+		flat: fx.flat.Slice(keep),
 		perm: append([]int(nil), fx.perm...),
-	}, nil
+	}
+	if fx.bwd != nil {
+		// A directed slice keeps both label halves of its owned vertices:
+		// the router joins forward(u) from u's shard with backward(v)
+		// from v's.
+		out.bwd = fx.bwd.Slice(keep)
+	}
+	return out, nil
 }
 
 // SaveShards slices fx into a cluster of shards per-shard flat index
@@ -58,9 +66,13 @@ func (fx *FlatIndex) SaveShards(dir string, shards, replicas int, seed uint64) (
 	}
 	files := make([]string, shards)
 	for id := 0; id < shards; id++ {
+		keep := func(v int) bool { return owners[v] == int32(id) }
 		slice := &FlatIndex{
-			flat: fx.flat.Slice(func(v int) bool { return owners[v] == int32(id) }),
+			flat: fx.flat.Slice(keep),
 			perm: fx.perm,
+		}
+		if fx.bwd != nil {
+			slice.bwd = fx.bwd.Slice(keep)
 		}
 		files[id] = fmt.Sprintf("shard-%03d.flat", id)
 		if err := slice.SaveFile(filepath.Join(dir, files[id])); err != nil {
@@ -71,6 +83,7 @@ func (fx *FlatIndex) SaveShards(dir string, shards, replicas int, seed uint64) (
 	if err != nil {
 		return nil, err
 	}
+	m.Directed = fx.Directed()
 	m.VertexCounts = counts
 	if err := shard.WriteManifest(filepath.Join(dir, shard.ManifestName), m); err != nil {
 		return nil, err
