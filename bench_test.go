@@ -11,6 +11,7 @@ package chl_test
 // the full-size text report.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -253,6 +254,7 @@ var serveBench struct {
 	once   sync.Once
 	ix     *chl.Index
 	fx     *chl.FlatIndex
+	cfx    *chl.FlatIndex // compressed sibling of fx, same labels
 	us, vs []int
 }
 
@@ -268,15 +270,28 @@ func benchServeIndex(b *testing.B) (*chl.Index, *chl.FlatIndex, []int, []int) {
 		if err != nil {
 			panic(err)
 		}
+		cfx, err := fx.Compress()
+		if err != nil {
+			panic(err)
+		}
 		rng := rand.New(rand.NewSource(2))
 		us := make([]int, 4096)
 		vs := make([]int, 4096)
 		for i := range us {
 			us[i], vs[i] = rng.Intn(32768), rng.Intn(32768)
 		}
-		serveBench.ix, serveBench.fx, serveBench.us, serveBench.vs = ix, fx, us, vs
+		serveBench.ix, serveBench.fx, serveBench.cfx = ix, fx, cfx
+		serveBench.us, serveBench.vs = us, vs
 	})
 	return serveBench.ix, serveBench.fx, serveBench.us, serveBench.vs
+}
+
+// benchServeCompressed returns the compressed sibling of the shared
+// serving fixture.
+func benchServeCompressed(b *testing.B) (*chl.FlatIndex, []int, []int) {
+	b.Helper()
+	_, _, us, vs := benchServeIndex(b)
+	return serveBench.cfx, us, vs
 }
 
 func BenchmarkQuery(b *testing.B) {
@@ -314,6 +329,98 @@ func BenchmarkFlatQueryMerge(b *testing.B) {
 		sink += fx.Query(us[i%4096], vs[i%4096])
 	}
 	_ = sink
+}
+
+// BenchmarkFlatQueryParallel is the hash-join flat query across all
+// available cores. Each RunParallel goroutine allocates its own
+// QueryScratch inside the closure — the scratch carries a generation
+// counter and a versioned bitmap, so sharing one across goroutines
+// would race and silently corrupt answers.
+func BenchmarkFlatQueryParallel(b *testing.B) {
+	_, fx, us, vs := benchServeIndex(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		scratch := fx.NewScratch() // per goroutine, never shared
+		var sink float64
+		i := 0
+		for pb.Next() {
+			sink += fx.QueryWith(scratch, us[i%4096], vs[i%4096])
+			i++
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkCompressedQuery is BenchmarkFlatQueryMerge on the compressed
+// (CHFX v4) sibling of the same index: block-skipping merge-join over
+// delta+varint label blocks instead of fixed-width packed entries.
+func BenchmarkCompressedQuery(b *testing.B) {
+	cfx, us, vs := benchServeCompressed(b)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cfx.Query(us[i%4096], vs[i%4096])
+	}
+	_ = sink
+}
+
+// BenchmarkCompressedQueryParallel runs the compressed kernel across all
+// cores. The compressed path is scratch-free (block buffers live on the
+// stack), so there is no per-goroutine state to allocate.
+func BenchmarkCompressedQueryParallel(b *testing.B) {
+	cfx, us, vs := benchServeCompressed(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var sink float64
+		i := 0
+		for pb.Next() {
+			sink += cfx.Query(us[i%4096], vs[i%4096])
+			i++
+		}
+		_ = sink
+	})
+}
+
+// TestParallelQueryScratchRace drives the same pattern as the parallel
+// benchmarks under plain `go test`, so the CI -race job proves the
+// per-goroutine-scratch discipline (and the scratch-free compressed
+// kernel) actually is data-race-free rather than trusting the comment.
+func TestParallelQueryScratchRace(t *testing.T) {
+	g := chl.GenerateScaleFree(400, 3, 2)
+	ix, fx := buildFrozen(t, g)
+	cfx, err := fx.Compress()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fx.NumVertices()
+	const workers, perWorker = 8, 400
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			scratch := fx.NewScratch() // own scratch per goroutine
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				want := ix.Query(u, v)
+				if got := fx.QueryWith(scratch, u, v); got != want {
+					errc <- fmt.Errorf("flat QueryWith(%d,%d) = %v, want %v", u, v, got, want)
+					return
+				}
+				if got := cfx.Query(u, v); got != want {
+					errc <- fmt.Errorf("compressed Query(%d,%d) = %v, want %v", u, v, got, want)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
 }
 
 // BenchmarkBatchParallel measures the parallel batch serving engine

@@ -1,0 +1,298 @@
+// Command chlbench is the standing performance harness for the two query
+// kernels: the fixed-width packed merge-join and the block-skipping join
+// over compressed (CHFX v4) labels. It builds the agreement fixtures
+// in-process, gates on every kernel answering bit-identically to the
+// in-memory index, micro-benchmarks both kernels over the same query
+// pairs, measures end-to-end /dist and /batch latency through the HTTP
+// serving tier for both storage formats, and writes the whole report as
+// JSON.
+//
+// Usage:
+//
+//	chlbench                       # full run, writes BENCH_chl.json
+//	chlbench -smoke                # reduced scale for CI (seconds, not minutes)
+//	chlbench -out report.json -queries 50000 -seed 7
+//
+// The process exits non-zero if any kernel disagrees with the in-memory
+// index on any fixture, or if the compressed file fails the 25% on-disk
+// savings bar — so CI can run it as a regression gate, not just a report.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	chl "repro"
+)
+
+// KernelStats is one kernel's micro-benchmark over the fixture's pairs.
+type KernelStats struct {
+	NsPerQuery float64 `json:"ns_per_query"`
+	Mqps       float64 `json:"mqps"`
+}
+
+// HTTPStats is the end-to-end serving latency for one storage format.
+type HTTPStats struct {
+	DistMeanUs float64 `json:"dist_mean_us"`
+	DistP99Us  float64 `json:"dist_p99_us"`
+	BatchMs    float64 `json:"batch_ms"` // one POST /batch with all pairs
+}
+
+// FixtureReport is everything measured on one agreement fixture.
+type FixtureReport struct {
+	Name            string                 `json:"name"`
+	Vertices        int                    `json:"vertices"`
+	Labels          int64                  `json:"labels"`
+	Directed        bool                   `json:"directed"`
+	BytesFixed      int                    `json:"bytes_fixed"`
+	BytesCompressed int                    `json:"bytes_compressed"`
+	SavingsPct      float64                `json:"savings_pct"`
+	Kernels         map[string]KernelStats `json:"kernels"`
+	HTTP            map[string]HTTPStats   `json:"http"`
+	Disagreements   int                    `json:"disagreements"`
+	Agree           bool                   `json:"agree"`
+}
+
+// Report is the BENCH_chl.json schema.
+type Report struct {
+	Generated time.Time       `json:"generated"`
+	Smoke     bool            `json:"smoke"`
+	Queries   int             `json:"queries"`
+	Seed      int64           `json:"seed"`
+	Fixtures  []FixtureReport `json:"fixtures"`
+	OK        bool            `json:"ok"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_chl.json", "report output path")
+		smoke   = flag.Bool("smoke", false, "reduced scale for CI")
+		queries = flag.Int("queries", 0, "query pairs per fixture (0: 20000, or 2000 with -smoke)")
+		httpQ   = flag.Int("http-queries", 0, "sequential /dist requests per format (0: 2000, or 300 with -smoke)")
+		seed    = flag.Int64("seed", 1, "build and query-generation seed")
+	)
+	flag.Parse()
+	if *queries == 0 {
+		*queries = 20000
+		if *smoke {
+			*queries = 2000
+		}
+	}
+	if *httpQ == 0 {
+		*httpQ = 2000
+		if *smoke {
+			*httpQ = 300
+		}
+	}
+
+	type fixture struct {
+		name string
+		g    *chl.Graph
+	}
+	scale := func(full, small int) int {
+		if *smoke {
+			return small
+		}
+		return full
+	}
+	fixtures := []fixture{
+		{"scalefree", chl.GenerateScaleFree(scale(8192, 1024), 3, *seed)},
+		{"road", chl.GenerateRoadGrid(scale(64, 20), scale(64, 20), *seed+1)},
+		{"directed", chl.GenerateRandomDirected(scale(2048, 512), scale(12288, 3072), 9, *seed+2)},
+	}
+
+	rep := Report{Generated: time.Now().UTC(), Smoke: *smoke, Queries: *queries, Seed: *seed, OK: true}
+	for _, f := range fixtures {
+		fr := benchFixture(f.name, f.g, *queries, *httpQ, *seed)
+		rep.Fixtures = append(rep.Fixtures, fr)
+		if !fr.Agree || fr.SavingsPct < 25 {
+			rep.OK = false
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d fixtures)\n", *out, len(rep.Fixtures))
+	if !rep.OK {
+		fatal(fmt.Errorf("kernel disagreement or <25%% compression savings — see %s", *out))
+	}
+}
+
+func benchFixture(name string, g *chl.Graph, queries, httpQ int, seed int64) FixtureReport {
+	algo := chl.AlgoGLL
+	if g.Directed() {
+		algo = chl.AlgoSeqPLL // GLL is undirected-only
+	}
+	ix, err := chl.Build(g, chl.Options{Algorithm: algo, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fx, err := ix.Freeze()
+	if err != nil {
+		fatal(err)
+	}
+	cfx, err := fx.Compress()
+	if err != nil {
+		fatal(err)
+	}
+	fr := FixtureReport{
+		Name:     name,
+		Vertices: fx.NumVertices(),
+		Labels:   fx.TotalLabels(),
+		Directed: fx.Directed(),
+		Kernels:  map[string]KernelStats{},
+		HTTP:     map[string]HTTPStats{},
+	}
+
+	// On-disk footprint of both formats for the same labels.
+	var plain, comp bytes.Buffer
+	if err := fx.Save(&plain); err != nil {
+		fatal(err)
+	}
+	if err := cfx.Save(&comp); err != nil {
+		fatal(err)
+	}
+	fr.BytesFixed = plain.Len()
+	fr.BytesCompressed = comp.Len()
+	fr.SavingsPct = 100 * (1 - float64(comp.Len())/float64(plain.Len()))
+
+	n := fx.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+	us := make([]int, queries)
+	vs := make([]int, queries)
+	for i := range us {
+		us[i], vs[i] = rng.Intn(n), rng.Intn(n)
+	}
+
+	// Agreement gate: both kernels (and the hash-join serving path)
+	// against the in-memory index, bit for bit.
+	scratch := fx.NewScratch()
+	for i := range us {
+		want := ix.Query(us[i], vs[i])
+		if fx.Query(us[i], vs[i]) != want ||
+			fx.QueryWith(scratch, us[i], vs[i]) != want ||
+			cfx.Query(us[i], vs[i]) != want {
+			fr.Disagreements++
+		}
+	}
+	fr.Agree = fr.Disagreements == 0
+
+	fr.Kernels["packed"] = timeKernel(fx, us, vs)
+	fr.Kernels["compressed"] = timeKernel(cfx, us, vs)
+
+	fr.HTTP["fixed"] = timeHTTP(fx, us, vs, httpQ)
+	fr.HTTP["compressed"] = timeHTTP(cfx, us, vs, httpQ)
+
+	fmt.Printf("%-10s n=%-6d labels=%-8d saved=%5.1f%%  packed=%6.0f ns/q  compressed=%6.0f ns/q  agree=%v\n",
+		name, fr.Vertices, fr.Labels, fr.SavingsPct,
+		fr.Kernels["packed"].NsPerQuery, fr.Kernels["compressed"].NsPerQuery, fr.Agree)
+	return fr
+}
+
+// timeKernel measures fx.Query over the pair set. The merge path is
+// scratch-free for both formats, so this is a direct kernel comparison:
+// JoinPacked under a fixed-width index, JoinCompressed under a v4 one.
+func timeKernel(fx *chl.FlatIndex, us, vs []int) KernelStats {
+	var sink float64
+	start := time.Now()
+	for i := range us {
+		sink += fx.Query(us[i], vs[i])
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	q := float64(len(us))
+	return KernelStats{
+		NsPerQuery: float64(elapsed.Nanoseconds()) / q,
+		Mqps:       q / elapsed.Seconds() / 1e6,
+	}
+}
+
+// timeHTTP serves fx through the real HTTP tier (cache disabled so every
+// request does kernel work) and measures sequential /dist latency plus
+// one /batch round trip carrying every pair.
+func timeHTTP(fx *chl.FlatIndex, us, vs []int, httpQ int) HTTPStats {
+	srv := httptest.NewServer(chl.NewServerFromFlat(fx, 0).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	lat := make([]float64, 0, httpQ)
+	for i := 0; i < httpQ; i++ {
+		u, v := us[i%len(us)], vs[i%len(vs)]
+		start := time.Now()
+		resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", srv.URL, u, v))
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("/dist status %d", resp.StatusCode))
+		}
+		var body struct {
+			Dist float64 `json:"dist"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+		lat = append(lat, float64(time.Since(start).Microseconds()))
+	}
+	sort.Float64s(lat)
+	var mean float64
+	for _, l := range lat {
+		mean += l
+	}
+	mean /= float64(len(lat))
+	p99 := lat[len(lat)*99/100]
+
+	pairs := make([][2]int, len(us))
+	for i := range us {
+		pairs[i] = [2]int{us[i], vs[i]}
+	}
+	body, err := json.Marshal(pairs)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	resp, err := client.Post(srv.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("/batch status %d", resp.StatusCode))
+	}
+	var out struct {
+		Dists []float64 `json:"dists"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	batch := time.Since(start)
+	if len(out.Dists) != len(pairs) {
+		fatal(fmt.Errorf("/batch returned %d dists for %d pairs", len(out.Dists), len(pairs)))
+	}
+
+	return HTTPStats{
+		DistMeanUs: mean,
+		DistP99Us:  p99,
+		BatchMs:    float64(batch.Microseconds()) / 1000,
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chlbench:", err)
+	os.Exit(1)
+}

@@ -69,6 +69,23 @@
 // ordered pairs (NewDirectedCache) so d(u→v) and d(v→u) never alias.
 // Undirected files stay version 2, byte-identical.
 //
+// # Compressed labels
+//
+// FlatIndex.Compress converts either directedness to the compressed
+// label format (CHFX version 4): labels split into blocks whose hub ids
+// are delta+varint coded and whose distances pack as small integers
+// where the float32 bits allow. Files shrink 59–71% on the benchmark
+// fixtures and every query kernel answers bit-identically through a
+// block-skipping merge join, at roughly 2–2.5× the fixed-width query
+// cost. Compress is explicit — Save writes v4 only for a compressed
+// index, so existing v2/v3 outputs stay byte-identical — and Decompress
+// inverts it exactly. Index.FreezeCompressed is Freeze+Compress;
+// cmd/chlquery exposes the conversion as -compress; cmd/chlbench is the
+// standing harness comparing both kernels and both serving formats
+// (BENCH_chl.json). The whole serving stack below — Server, shard
+// slicing, replicated clusters, the router — serves either format;
+// FlatIndex.Compressed reports which one an index holds.
+//
 // The production tier on top is Server: a hot-swappable Snapshot of the
 // index behind an atomic pointer, an optional sharded LRU Cache of full
 // answers (NewCache / NewDirectedCache, per snapshot — a swap can never

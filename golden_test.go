@@ -1,0 +1,90 @@
+package chl_test
+
+// Golden byte-stability tests for the CHFX container. The builds below
+// are fully deterministic (seeded generators + the sequential PLL
+// constructor), so the saved files must hash to the same SHA-256 on every
+// run, platform, and future PR. The v2/v3 hashes are the regression the
+// compressed-format work promised: adding CHFX v4 must not perturb a
+// single byte of the formats existing deployments mmap. The v4 hashes pin
+// the new format the same way for the next change.
+//
+// If one of these fails, a format byte changed. That is occasionally
+// intentional (a deliberate version bump) — then the hash may be updated
+// in the same commit that documents the format change — but it must never
+// happen as a side effect.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	chl "repro"
+)
+
+// goldenBuild builds the deterministic fixtures the hashes below were
+// computed from.
+func goldenBuild(t *testing.T, directed bool) *chl.FlatIndex {
+	t.Helper()
+	g := chl.GenerateScaleFree(200, 3, 6)
+	if directed {
+		g = chl.GenerateRandomDirected(180, 900, 9, 6)
+	}
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoSeqPLL, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := ix.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}
+
+func goldenCheck(t *testing.T, fx *chl.FlatIndex, wantVer byte, wantSHA string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fx.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if ver := buf.Bytes()[4]; ver != wantVer {
+		t.Fatalf("saved as CHFX version %d, want %d", ver, wantVer)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != wantSHA {
+		t.Fatalf("CHFX v%d bytes drifted: sha256 = %s, want %s (%d bytes)", wantVer, got, wantSHA, buf.Len())
+	}
+}
+
+// Without the compression flag, undirected saves stay version 2 —
+// byte-identical to every file written before CHFX v4 existed.
+func TestGoldenUndirectedV2BytesStable(t *testing.T) {
+	goldenCheck(t, goldenBuild(t, false), 2,
+		"c7ba1cdb050ab5c2135de0fe695dcf17c47ed15e686044cc44bf68067a2bfe0e")
+}
+
+// Without the compression flag, directed saves stay version 3.
+func TestGoldenDirectedV3BytesStable(t *testing.T) {
+	goldenCheck(t, goldenBuild(t, true), 3,
+		"d75545bf56f430457b4d3e408dec7cf563f80474ce08f10be9ab5af880917574")
+}
+
+// Compressed saves are version 4 and themselves byte-stable.
+func TestGoldenCompressedV4BytesStable(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		directed bool
+		sha      string
+	}{
+		{"undirected", false, "30b233b1e05bf8c6187e82e468aad76198e3153c259d153e2741b51c281b31db"},
+		{"directed", true, "42292dc0a9ba6dd773101c6f1bb1a97ced1544ee18add0061dcec9e459952b87"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfx, err := goldenBuild(t, tc.directed).Compress()
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCheck(t, cfx, 4, tc.sha)
+		})
+	}
+}

@@ -1,0 +1,373 @@
+package label
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Compressed flat payload (CHLC, versioned, little endian): the on-disk
+// form of one or two CompressedIndex halves — one for an undirected
+// index, two (forward then backward) for a directed one, mirroring how
+// CHLD carries both halves of a directed fixed-width index:
+//
+//	magic     [4]byte  "CHLC"
+//	version   uint8    currently cflatVersion (1)
+//	halves    uint8    1 (undirected) or 2 (directed: forward + backward)
+//	blockSize uint16   entries per full block, in [1, CompressedMaxBlockEntries]
+//	n         uint32   vertex count (shared by both halves)
+//	nb1       uint32   block count, first half
+//	nb2       uint32   block count, second half (0 when halves == 1)
+//	dl1       uint64   payload byte length, first half
+//	dl2       uint64   payload byte length, second half
+//	vertOff1  (n+1) × uint32
+//	vertOff2  (n+1) × uint32        (only when halves == 2)
+//	heads1    4·nb1 × uint32
+//	heads2    4·nb2 × uint32        (only when halves == 2)
+//	data1     dl1 bytes
+//	data2     dl2 bytes             (only when halves == 2)
+//
+// Every fixed-width array is uint32 and the variable-width payload is
+// plain bytes, so the whole payload needs only 4-byte alignment to be
+// served zero-copy — the header is 36 bytes (a multiple of 4) and all
+// uint32 arrays precede the byte payloads, so basing the payload at a
+// 4-aligned file offset (arranged by CHFX version 4's pad) aligns
+// everything. MapCompressedFlat aliases the arrays straight into the
+// mapping, exactly as MapFlat does for CHLF.
+
+var cflatMagic = [4]byte{'C', 'H', 'L', 'C'}
+
+// cflatVersion is the current compressed flat serialization version;
+// readers reject anything newer.
+const cflatVersion = 1
+
+// CompressedFlatHeaderBytes is the CHLC header size: magic (4) + version
+// (1) + halves (1) + blockSize (2) + n (4) + nb1 (4) + nb2 (4) + dl1 (8)
+// + dl2 (8). The framing writer (CHFX v4) uses it to compute the
+// alignment pad.
+const CompressedFlatHeaderBytes = 36
+
+// WriteCompressedFlat serializes one or two compressed index halves as a
+// CHLC payload. bwd is nil for an undirected index; when present it must
+// cover the same vertex count and use the same block size as fwd.
+func WriteCompressedFlat(w io.Writer, fwd, bwd *CompressedIndex) (int64, error) {
+	if bwd != nil {
+		if bwd.n != fwd.n {
+			return 0, fmt.Errorf("label: compressed halves cover %d and %d vertices", fwd.n, bwd.n)
+		}
+		if bwd.blockSize != fwd.blockSize {
+			return 0, fmt.Errorf("label: compressed halves use block sizes %d and %d", fwd.blockSize, bwd.blockSize)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	var written int64
+	emit := func(p []byte) error {
+		k, err := bw.Write(p)
+		written += int64(k)
+		return err
+	}
+	halves := uint8(1)
+	nb2, dl2 := 0, 0
+	if bwd != nil {
+		halves = 2
+		nb2, dl2 = bwd.NumBlocks(), len(bwd.data)
+	}
+	var hdr [CompressedFlatHeaderBytes]byte
+	copy(hdr[:4], cflatMagic[:])
+	hdr[4] = cflatVersion
+	hdr[5] = halves
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(fwd.blockSize))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(fwd.n))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(fwd.NumBlocks()))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(nb2))
+	binary.LittleEndian.PutUint64(hdr[20:28], uint64(len(fwd.data)))
+	binary.LittleEndian.PutUint64(hdr[28:36], uint64(dl2))
+	if err := emit(hdr[:]); err != nil {
+		return written, err
+	}
+	words := [][]uint32{fwd.vertOff}
+	if bwd != nil {
+		words = append(words, bwd.vertOff)
+	}
+	words = append(words, fwd.heads)
+	if bwd != nil {
+		words = append(words, bwd.heads)
+	}
+	var buf [4096]byte
+	for _, xs := range words {
+		for len(xs) > 0 {
+			chunk := len(buf) / 4
+			if chunk > len(xs) {
+				chunk = len(xs)
+			}
+			for i := 0; i < chunk; i++ {
+				binary.LittleEndian.PutUint32(buf[i*4:], xs[i])
+			}
+			if err := emit(buf[:chunk*4]); err != nil {
+				return written, err
+			}
+			xs = xs[chunk:]
+		}
+	}
+	if err := emit(fwd.data); err != nil {
+		return written, err
+	}
+	if bwd != nil {
+		if err := emit(bwd.data); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadCompressedFlat deserializes a CHLC payload written by
+// WriteCompressedFlat into heap-backed indexes, validating the header
+// and the full structural invariants of every half (which decodes each
+// block once). bwd is nil when the payload holds one half.
+func ReadCompressedFlat(r io.Reader) (fwd, bwd *CompressedIndex, err error) {
+	br := bufio.NewReader(r)
+	var hdr [CompressedFlatHeaderBytes]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("label: reading compressed flat header: %w", err)
+	}
+	halves, blockSize, n, nb1, nb2, dl1, dl2, err := parseCompressedHeader(hdr[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	// As in ReadFlat, arrays grow as bytes actually arrive, so a hostile
+	// header cannot demand gigabytes before the first short read fails.
+	var buf [4096]byte
+	readWords := func(what string, count int) ([]uint32, error) {
+		words := make([]uint32, 0)
+		for remain := count; remain > 0; {
+			chunk := len(buf) / 4
+			if chunk > remain {
+				chunk = remain
+			}
+			if _, err := io.ReadFull(br, buf[:chunk*4]); err != nil {
+				return nil, fmt.Errorf("label: reading compressed %s: %w", what, err)
+			}
+			for i := 0; i < chunk; i++ {
+				words = append(words, binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			remain -= chunk
+		}
+		return words, nil
+	}
+	readBytes := func(what string, count uint64) ([]byte, error) {
+		data := make([]byte, 0)
+		for remain := count; remain > 0; {
+			chunk := uint64(len(buf))
+			if chunk > remain {
+				chunk = remain
+			}
+			if _, err := io.ReadFull(br, buf[:chunk]); err != nil {
+				return nil, fmt.Errorf("label: reading compressed %s: %w", what, err)
+			}
+			data = append(data, buf[:chunk]...)
+			remain -= chunk
+		}
+		return data, nil
+	}
+	fwd = &CompressedIndex{n: n, blockSize: blockSize}
+	if halves == 2 {
+		bwd = &CompressedIndex{n: n, blockSize: blockSize}
+	}
+	if fwd.vertOff, err = readWords("forward vertex offsets", n+1); err != nil {
+		return nil, nil, err
+	}
+	if bwd != nil {
+		if bwd.vertOff, err = readWords("backward vertex offsets", n+1); err != nil {
+			return nil, nil, err
+		}
+	}
+	if fwd.heads, err = readWords("forward block headers", 4*nb1); err != nil {
+		return nil, nil, err
+	}
+	if bwd != nil {
+		if bwd.heads, err = readWords("backward block headers", 4*nb2); err != nil {
+			return nil, nil, err
+		}
+	}
+	if fwd.data, err = readBytes("forward block payload", dl1); err != nil {
+		return nil, nil, err
+	}
+	if bwd != nil {
+		if bwd.data, err = readBytes("backward block payload", dl2); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := fwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: forward half: %w", err)
+	}
+	if bwd != nil {
+		if err := bwd.validate(); err != nil {
+			return nil, nil, fmt.Errorf("label: backward half: %w", err)
+		}
+	}
+	return fwd, bwd, nil
+}
+
+// parseCompressedHeader decodes and range-checks the fixed CHLC header.
+func parseCompressedHeader(hdr []byte) (halves, blockSize, n, nb1, nb2 int, dl1, dl2 uint64, err error) {
+	if [4]byte(hdr[:4]) != cflatMagic {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: bad compressed flat magic %q", hdr[:4])
+	}
+	if v := hdr[4]; v != cflatVersion {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: unsupported compressed flat version %d (want %d)", v, cflatVersion)
+	}
+	halves = int(hdr[5])
+	if halves != 1 && halves != 2 {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: compressed flat payload declares %d halves (want 1 or 2)", halves)
+	}
+	blockSize = int(binary.LittleEndian.Uint16(hdr[6:8]))
+	if blockSize < 1 || blockSize > CompressedMaxBlockEntries {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: compressed block size %d out of range [1,%d]", blockSize, CompressedMaxBlockEntries)
+	}
+	n = int(binary.LittleEndian.Uint32(hdr[8:12]))
+	nb1 = int(binary.LittleEndian.Uint32(hdr[12:16]))
+	nb2 = int(binary.LittleEndian.Uint32(hdr[16:20]))
+	dl1 = binary.LittleEndian.Uint64(hdr[20:28])
+	dl2 = binary.LittleEndian.Uint64(hdr[28:36])
+	if halves == 1 && (nb2 != 0 || dl2 != 0) {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: single-half compressed payload declares a second half")
+	}
+	// The same plausibility ceiling the flat readers apply before
+	// trusting header-sized reads.
+	if uint64(nb1) > 1<<32 || uint64(nb2) > 1<<32 || dl1 > 1<<33 || dl2 > 1<<33 {
+		return 0, 0, 0, 0, 0, 0, 0, fmt.Errorf("label: implausible compressed payload sizes (%d/%d blocks, %d/%d bytes)", nb1, nb2, dl1, dl2)
+	}
+	return halves, blockSize, n, nb1, nb2, dl1, dl2, nil
+}
+
+// MapCompressedFlat constructs compressed index halves whose arrays alias
+// data, which must hold a CHLC payload starting at its first byte
+// (trailing bytes are ignored). The same structural validation as
+// ReadCompressedFlat runs before the indexes are returned. The first
+// half's raw region covers the entire payload, so Prefault on it faults
+// both halves in. The caller keeps data alive (and mapped) for the
+// lifetime of the returned indexes.
+func MapCompressedFlat(data []byte) (fwd, bwd *CompressedIndex, err error) {
+	if !nativeLittleEndian() {
+		return nil, nil, fmt.Errorf("%w: host is big endian", ErrNotMappable)
+	}
+	if len(data) < CompressedFlatHeaderBytes {
+		return nil, nil, fmt.Errorf("label: compressed flat payload too short (%d bytes)", len(data))
+	}
+	halves, blockSize, n, nb1, nb2, dl1, dl2, err := parseCompressedHeader(data[:CompressedFlatHeaderBytes])
+	if err != nil {
+		return nil, nil, err
+	}
+	offWords := int64(n + 1)
+	words1 := offWords + int64(nb1)*4
+	words2 := int64(0)
+	if halves == 2 {
+		words2 = offWords + int64(nb2)*4
+	}
+	need := int64(CompressedFlatHeaderBytes) + (words1+words2)*4 + int64(dl1) + int64(dl2)
+	if int64(len(data)) < need {
+		return nil, nil, fmt.Errorf("label: compressed flat payload truncated: %d bytes, need %d", len(data), need)
+	}
+	pos := int64(CompressedFlatHeaderBytes)
+	mapWords := func(count int64) ([]uint32, error) {
+		if count == 0 {
+			return nil, nil
+		}
+		b := data[pos : pos+count*4]
+		if uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+			return nil, fmt.Errorf("%w: compressed arrays misaligned within the file", ErrNotMappable)
+		}
+		pos += count * 4
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), count), nil
+	}
+	fwd = &CompressedIndex{n: n, blockSize: blockSize}
+	if halves == 2 {
+		bwd = &CompressedIndex{n: n, blockSize: blockSize}
+	}
+	if fwd.vertOff, err = mapWords(offWords); err != nil {
+		return nil, nil, err
+	}
+	if bwd != nil {
+		if bwd.vertOff, err = mapWords(offWords); err != nil {
+			return nil, nil, err
+		}
+	}
+	if fwd.heads, err = mapWords(int64(nb1) * 4); err != nil {
+		return nil, nil, err
+	}
+	if bwd != nil {
+		if bwd.heads, err = mapWords(int64(nb2) * 4); err != nil {
+			return nil, nil, err
+		}
+	}
+	fwd.data = data[pos : pos+int64(dl1) : pos+int64(dl1)]
+	pos += int64(dl1)
+	if bwd != nil {
+		bwd.data = data[pos : pos+int64(dl2) : pos+int64(dl2)]
+	}
+	if err := fwd.validate(); err != nil {
+		return nil, nil, fmt.Errorf("label: forward half: %w", err)
+	}
+	if bwd != nil {
+		if err := bwd.validate(); err != nil {
+			return nil, nil, fmt.Errorf("label: backward half: %w", err)
+		}
+	}
+	// One raw region on the first half: Prefault walks the whole payload,
+	// both halves included.
+	fwd.raw = data[:need]
+	return fwd, bwd, nil
+}
+
+// MapCompressedFlatFile is MapCompressedFlat over the CHLC payload at
+// byte offset off of the already-open file f — same contract as
+// MapFlatFile: the mapping is taken from f's descriptor (not its path),
+// f may be closed after return, and the returned closer releases the
+// mapping once the caller is done with the indexes.
+func MapCompressedFlatFile(f *os.File, off int64) (fwd, bwd *CompressedIndex, closer func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	size := st.Size()
+	if off < 0 || off >= size {
+		return nil, nil, nil, fmt.Errorf("label: compressed flat payload offset %d outside file of %d bytes", off, size)
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		if errors.Is(err, ErrNotMappable) {
+			return nil, nil, nil, err
+		}
+		return nil, nil, nil, fmt.Errorf("%w: mmap %s: %v", ErrNotMappable, f.Name(), err)
+	}
+	fwd, bwd, err = MapCompressedFlat(data[off:])
+	if err != nil {
+		munmapBytes(data)
+		return nil, nil, nil, err
+	}
+	adviseCompressedFlat(data, off, fwd, bwd)
+	return fwd, bwd, func() error { return munmapBytes(data) }, nil
+}
+
+// adviseCompressedFlat mirrors adviseFlat for a CHLC payload at byte
+// offset off of the mapping: the vertex offsets and block headers
+// (adjacent uint32 arrays touched by every query) get MADV_WILLNEED, the
+// block payloads MADV_RANDOM.
+func adviseCompressedFlat(data []byte, off int64, fwd, bwd *CompressedIndex) {
+	offStart := off + CompressedFlatHeaderBytes
+	words := int64(len(fwd.vertOff) + len(fwd.heads))
+	bytes := int64(len(fwd.data))
+	if bwd != nil {
+		words += int64(len(bwd.vertOff) + len(bwd.heads))
+		bytes += int64(len(bwd.data))
+	}
+	madviseSpan(data, offStart, words*4, adviceWillNeed)
+	madviseSpan(data, offStart+words*4, bytes, adviceRandom)
+}

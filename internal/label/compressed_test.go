@@ -1,0 +1,310 @@
+package label
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomLabelIndex builds a random label index over n vertices whose
+// per-vertex hub sets are drawn from [0, n) with the given density.
+// Distances mix small integers (the uvarint plane), fractional values
+// and huge values (the float plane), plus the occasional -0.0 — the bit
+// pattern the int plane must refuse so parity stays exact.
+func randomLabelIndex(rng *rand.Rand, n int, density float64) *Index {
+	ix := NewIndex(n)
+	for v := 0; v < n; v++ {
+		s := Set{}
+		for h := 0; h < n; h++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			var d float64
+			switch rng.Intn(6) {
+			case 0, 1, 2:
+				d = float64(rng.Intn(1 << 10)) // small int: varint plane
+			case 3:
+				d = float64(rng.Intn(1<<10)) + 0.5 // fractional: float plane
+			case 4:
+				d = float64(1<<24 + rng.Intn(1<<10)) // too big for the int plane
+			default:
+				d = math.Copysign(0, -1) // -0.0: must stay on the float plane
+			}
+			s = append(s, L{Hub: uint32(h), Dist: d})
+		}
+		ix.SetLabels(v, s)
+	}
+	return ix
+}
+
+// joinParity asserts that JoinCompressed is bit-identical to JoinPacked
+// on every vertex pair of the frozen index, at the given block size.
+func joinParity(t *testing.T, f *FlatIndex, blockSize int) {
+	t.Helper()
+	c, err := CompressBlocks(f, blockSize)
+	if err != nil {
+		t.Fatalf("CompressBlocks(%d): %v", blockSize, err)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatalf("compressed index fails validation: %v", err)
+	}
+	if c.NumLabels() != f.NumLabels() {
+		t.Fatalf("compressed index holds %d labels, flat holds %d", c.NumLabels(), f.NumLabels())
+	}
+	n := f.NumVertices()
+	for u := 0; u < n; u++ {
+		if got, want := c.LabelCount(u), f.LabelCount(u); got != want {
+			t.Fatalf("LabelCount(%d) = %d, want %d", u, got, want)
+		}
+		for v := 0; v < n; v++ {
+			wd, wh, wok := JoinPacked(f.PackedRun(u), f.PackedRun(v))
+			gd, gh, gok := JoinCompressed(c.Run(u), c.Run(v))
+			if gok != wok || gh != wh || math.Float64bits(gd) != math.Float64bits(wd) {
+				t.Fatalf("blockSize %d, pair (%d,%d): JoinCompressed = (%v, %d, %v), JoinPacked = (%v, %d, %v)",
+					blockSize, u, v, gd, gh, gok, wd, wh, wok)
+			}
+		}
+	}
+}
+
+// TestJoinCompressedParityRandom is the property test of the compressed
+// kernel: over randomized label sets of varying density — including
+// vertices with empty label sets — JoinCompressed returns bit-identical
+// (dist, hub, ok) to JoinPacked for every pair, at block sizes that
+// exercise single-entry blocks, partial final blocks, and the default.
+func TestJoinCompressedParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, density := range []float64{0.02, 0.2, 0.7} {
+		f := Freeze(randomLabelIndex(rng, 48, density))
+		for _, bs := range []int{1, 3, CompressedBlockEntries, CompressedMaxBlockEntries} {
+			joinParity(t, f, bs)
+		}
+	}
+}
+
+// TestJoinCompressedParityEdgeCases pins the degenerate shapes the
+// property test may not hit densely: all-empty label sets, a single
+// shared hub, and full overlap (every vertex labels every hub).
+func TestJoinCompressedParityEdgeCases(t *testing.T) {
+	const n = 8
+	cases := map[string]func(v int) Set{
+		"empty":     func(v int) Set { return nil },
+		"singleHub": func(v int) Set { return Set{{Hub: 0, Dist: float64(v)}} },
+		"allOverlap": func(v int) Set {
+			s := make(Set, n)
+			for h := range s {
+				s[h] = L{Hub: uint32(h), Dist: float64(v*n + h)}
+			}
+			return s
+		},
+		"disjointHalves": func(v int) Set {
+			lo, hi := 0, n/2
+			if v%2 == 1 {
+				lo, hi = n/2, n
+			}
+			s := Set{}
+			for h := lo; h < hi; h++ {
+				s = append(s, L{Hub: uint32(h), Dist: float64(v + h)})
+			}
+			return s
+		},
+	}
+	for name, labels := range cases {
+		t.Run(name, func(t *testing.T) {
+			ix := NewIndex(n)
+			for v := 0; v < n; v++ {
+				ix.SetLabels(v, labels(v))
+			}
+			f := Freeze(ix)
+			for _, bs := range []int{1, 2, CompressedBlockEntries} {
+				joinParity(t, f, bs)
+			}
+		})
+	}
+}
+
+// TestCompressedAccessors covers the decoding accessors against their
+// flat counterparts: AppendPackedRun, Labels, Decompress, and Slice.
+func TestCompressedAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := Freeze(randomLabelIndex(rng, 40, 0.3))
+	c, err := CompressBlocks(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < f.NumVertices(); v++ {
+		got := c.AppendPackedRun(nil, v)
+		want := f.PackedRun(v)
+		if len(got) != len(want) {
+			t.Fatalf("AppendPackedRun(%d): %d entries, want %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AppendPackedRun(%d) entry %d = %#x, want %#x", v, i, got[i], want[i])
+			}
+		}
+		gl, wl := c.Labels(v), f.Labels(v)
+		if len(gl) != len(wl) {
+			t.Fatalf("Labels(%d): %d labels, want %d", v, len(gl), len(wl))
+		}
+		for i := range gl {
+			if gl[i] != wl[i] {
+				t.Fatalf("Labels(%d)[%d] = %+v, want %+v", v, i, gl[i], wl[i])
+			}
+		}
+	}
+	d := c.Decompress()
+	if err := d.validate(); err != nil {
+		t.Fatalf("decompressed index fails validation: %v", err)
+	}
+	for v := 0; v < f.NumVertices(); v++ {
+		got, want := d.PackedRun(v), f.PackedRun(v)
+		if len(got) != len(want) {
+			t.Fatalf("decompressed run %d: %d entries, want %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("decompressed run %d entry %d differs", v, i)
+			}
+		}
+	}
+	keep := func(v int) bool { return v%3 == 0 }
+	cs, fs := c.Slice(keep), f.Slice(keep)
+	if err := cs.validate(); err != nil {
+		t.Fatalf("sliced compressed index fails validation: %v", err)
+	}
+	if cs.NumLabels() != fs.NumLabels() {
+		t.Fatalf("sliced compressed index holds %d labels, flat slice holds %d", cs.NumLabels(), fs.NumLabels())
+	}
+	for v := 0; v < f.NumVertices(); v++ {
+		got, want := cs.AppendPackedRun(nil, v), fs.PackedRun(v)
+		if len(got) != len(want) {
+			t.Fatalf("sliced run %d: %d entries, want %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sliced run %d entry %d differs", v, i)
+			}
+		}
+	}
+}
+
+// compressedEqual asserts two compressed indexes hold identical arrays.
+func compressedEqual(t *testing.T, got, want *CompressedIndex) {
+	t.Helper()
+	if got.n != want.n || got.blockSize != want.blockSize || got.total != want.total {
+		t.Fatalf("header mismatch: (%d,%d,%d) vs (%d,%d,%d)",
+			got.n, got.blockSize, got.total, want.n, want.blockSize, want.total)
+	}
+	for i := range want.vertOff {
+		if got.vertOff[i] != want.vertOff[i] {
+			t.Fatalf("vertOff[%d] = %d, want %d", i, got.vertOff[i], want.vertOff[i])
+		}
+	}
+	if len(got.heads) != len(want.heads) {
+		t.Fatalf("%d header words, want %d", len(got.heads), len(want.heads))
+	}
+	for i := range want.heads {
+		if got.heads[i] != want.heads[i] {
+			t.Fatalf("heads[%d] = %#x, want %#x", i, got.heads[i], want.heads[i])
+		}
+	}
+	if !bytes.Equal(got.data, want.data) {
+		t.Fatal("payload bytes differ")
+	}
+}
+
+// TestCompressedFlatRoundTrip writes CHLC payloads (single- and
+// two-half) and reads them back through both the copying reader and the
+// mmap loader, asserting array-exact equality.
+func TestCompressedFlatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fwd, err := Compress(Freeze(randomLabelIndex(rng, 60, 0.25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwd, err := Compress(Freeze(randomLabelIndex(rng, 60, 0.15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		bwd  *CompressedIndex
+	}{{"single", nil}, {"directed", bwd}} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			written, err := WriteCompressedFlat(&buf, fwd, tc.bwd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if written != int64(buf.Len()) {
+				t.Fatalf("WriteCompressedFlat reported %d bytes, wrote %d", written, buf.Len())
+			}
+			rf, rb, err := ReadCompressedFlat(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			compressedEqual(t, rf, fwd)
+			if tc.bwd == nil {
+				if rb != nil {
+					t.Fatal("single-half payload decoded a second half")
+				}
+			} else {
+				compressedEqual(t, rb, tc.bwd)
+			}
+
+			path := filepath.Join(t.TempDir(), "c.chlc")
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fl, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fl.Close()
+			mf, mb, closer, err := MapCompressedFlatFile(fl, 0)
+			if err != nil {
+				t.Skipf("mmap unavailable: %v", err)
+			}
+			defer closer()
+			compressedEqual(t, mf, fwd)
+			if tc.bwd != nil {
+				compressedEqual(t, mb, tc.bwd)
+			}
+			if mf.Prefault() == 0 {
+				t.Error("Prefault walked 0 pages on a mapped index")
+			}
+		})
+	}
+}
+
+// TestCompressedSavings pins the acceptance bar from ROADMAP item 4 at
+// the package level: on integer-weighted label sets (what the graph
+// generators emit), the compressed arrays are at least 25% smaller than
+// the fixed-width flat arrays.
+func TestCompressedSavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := NewIndex(200)
+	for v := 0; v < 200; v++ {
+		s := Set{}
+		for h := 0; h < 200; h++ {
+			if rng.Float64() < 0.15 {
+				s = append(s, L{Hub: uint32(h), Dist: float64(rng.Intn(512))})
+			}
+		}
+		ix.SetLabels(v, s)
+	}
+	f := Freeze(ix)
+	c, err := Compress(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := f.TotalMemory()
+	comp := c.TotalMemory()
+	if comp > flat*3/4 {
+		t.Fatalf("compressed arrays take %d bytes, flat %d — less than 25%% saved", comp, flat)
+	}
+}

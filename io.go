@@ -129,23 +129,29 @@ func LoadFile(path string) (*Index, error) {
 //	        hub ids are in rank space. Version ≤ 2: one CHLF payload
 //	        (label.FlatIndex). Version 3: one CHLD payload packing the
 //	        forward and backward runs of a directed index
-//	        (label.WriteDirectedFlat).
+//	        (label.WriteDirectedFlat). Version 4: one CHLC payload of
+//	        compressed label blocks, one or two halves
+//	        (label.WriteCompressedFlat).
 //
 // Versions 2 and 3 insert pad bytes sized so that the payload's entry
 // array(s) land on an 8-byte boundary within the file, which lets
 // LoadFlatMapped serve the arrays zero-copy straight from a memory
-// mapping. Version 1 files (unpadded, undirected) are still read by the
-// copying loader. Undirected indexes keep writing version 2, so their
-// files remain byte-identical across this change.
+// mapping; version 4 needs (and pads to) only a 4-byte boundary, since a
+// CHLC payload holds no 8-byte words. Version 1 files (unpadded,
+// undirected) are still read by the copying loader. Version 4 is written
+// only when the caller compresses explicitly (FlatIndex.Compress, the
+// -compress CLI flag): v2/v3 remain the defaults, so existing outputs
+// stay byte-identical across this change.
 //
 // See ARCHITECTURE.md for the byte-level layout of the CHLF and CHLD
 // payloads.
 var flatMagic = [4]byte{'C', 'H', 'F', 'X'}
 
 const (
-	flatVersionDirected = 3 // written for directed indexes; CHLD payload
-	flatVersion         = 2 // written for undirected; entries 8-byte aligned for mmap
-	flatVersionLegacy   = 1 // still read: identical to 2 but unpadded
+	flatVersionCompressed = 4 // compressed label blocks (either directedness); CHLC payload
+	flatVersionDirected   = 3 // written for directed indexes; CHLD payload
+	flatVersion           = 2 // written for undirected; entries 8-byte aligned for mmap
+	flatVersionLegacy     = 1 // still read: identical to 2 but unpadded
 )
 
 // flatPad returns the pad length for an undirected flat file over n
@@ -170,6 +176,17 @@ func flatPadDirected(n int) int {
 	return (8 - pre%8) % 8
 }
 
+// flatPadCompressed is flatPad for the version-4 compressed layout. A
+// CHLC payload holds only uint32 arrays and raw bytes, so 4-byte
+// alignment of the payload base suffices (its header is a multiple of 4
+// and all word arrays precede the byte payloads): the 6 framing bytes
+// plus the 4+4n permutation leave the base at 2 (mod 4), so the pad is a
+// constant 2.
+func flatPadCompressed(n int) int {
+	pre := 6 + (4 + 4*n)
+	return (4 - pre%4) % 4
+}
+
 // Save serializes the flat index (packed labels + ranking) to w —
 // version 2 for undirected indexes, version 3 (both label halves) for
 // directed ones.
@@ -179,7 +196,10 @@ func (fx *FlatIndex) Save(w io.Writer) error {
 		return err
 	}
 	ver, pad := byte(flatVersion), flatPad(len(fx.perm))
-	if fx.bwd != nil {
+	switch {
+	case fx.cflat != nil:
+		ver, pad = flatVersionCompressed, flatPadCompressed(len(fx.perm))
+	case fx.bwd != nil:
 		ver, pad = flatVersionDirected, flatPadDirected(len(fx.perm))
 	}
 	if err := bw.WriteByte(ver); err != nil {
@@ -194,12 +214,19 @@ func (fx *FlatIndex) Save(w io.Writer) error {
 	if err := label.WritePerm(bw, fx.perm); err != nil {
 		return err
 	}
-	if fx.bwd != nil {
+	switch {
+	case fx.cflat != nil:
+		if _, err := label.WriteCompressedFlat(bw, fx.cflat, fx.cbwd); err != nil {
+			return err
+		}
+	case fx.bwd != nil:
 		if _, err := label.WriteDirectedFlat(bw, fx.flat, fx.bwd); err != nil {
 			return err
 		}
-	} else if _, err := fx.flat.WriteTo(bw); err != nil {
-		return err
+	default:
+		if _, err := fx.flat.WriteTo(bw); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -234,7 +261,7 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 	switch ver {
 	case flatVersionLegacy:
 		// No alignment pad.
-	case flatVersion, flatVersionDirected:
+	case flatVersion, flatVersionDirected, flatVersionCompressed:
 		pad, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("chl: reading flat pad length: %w", err)
@@ -243,11 +270,21 @@ func LoadFlat(r io.Reader) (*FlatIndex, error) {
 			return nil, fmt.Errorf("chl: skipping flat pad: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionDirected)
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionCompressed)
 	}
 	perm, err := label.ReadPerm(br)
 	if err != nil {
 		return nil, err
+	}
+	if ver == flatVersionCompressed {
+		cf, cb, err := label.ReadCompressedFlat(br)
+		if err != nil {
+			return nil, err
+		}
+		if cf.NumVertices() != len(perm) {
+			return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", cf.NumVertices(), len(perm))
+		}
+		return &FlatIndex{cflat: cf, cbwd: cb, perm: perm}, nil
 	}
 	if ver == flatVersionDirected {
 		fwd, bwd, err := label.ReadDirectedFlat(br)
@@ -310,21 +347,22 @@ func LoadFlatMapped(path string) (*FlatIndex, error) {
 		return nil, fmt.Errorf("chl: bad flat index magic %q", hdr[:4])
 	}
 	off := int64(6)
-	directed := false
+	directed, compressed := false, false
 	switch ver := hdr[4]; ver {
 	case flatVersionLegacy:
 		// Version 1 has no pad byte: hdr[5] was the first permutation
 		// byte. Its arrays are unaligned anyway, so don't bother
 		// rewinding — report not-mappable and let OpenFlat fall back.
 		return nil, fmt.Errorf("%w: CHFX version 1 predates alignment padding", label.ErrNotMappable)
-	case flatVersion, flatVersionDirected:
+	case flatVersion, flatVersionDirected, flatVersionCompressed:
 		directed = ver == flatVersionDirected
+		compressed = ver == flatVersionCompressed
 		off += int64(hdr[5])
 		if _, err := f.Seek(off, io.SeekStart); err != nil {
 			return nil, fmt.Errorf("chl: seeking past flat pad: %w", err)
 		}
 	default:
-		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionDirected)
+		return nil, fmt.Errorf("chl: unsupported flat index version %d (want ≤ %d)", ver, flatVersionCompressed)
 	}
 	var cnt [4]byte
 	if _, err := io.ReadFull(f, cnt[:]); err != nil {
@@ -353,6 +391,17 @@ func LoadFlatMapped(path string) (*FlatIndex, error) {
 	// Map from the SAME open descriptor the framing was read from: an
 	// atomic-rename deploy racing this load must not pair one inode's
 	// permutation with another's label arrays.
+	if compressed {
+		cf, cb, closer, err := label.MapCompressedFlatFile(f, off)
+		if err != nil {
+			return nil, err
+		}
+		if cf.NumVertices() != len(perm) {
+			closer()
+			return nil, fmt.Errorf("chl: flat index covers %d vertices but permutation has %d", cf.NumVertices(), len(perm))
+		}
+		return &FlatIndex{cflat: cf, cbwd: cb, perm: perm, close: closer, mapped: true}, nil
+	}
 	if directed {
 		fwd, bwd, closer, err := label.MapDirectedFlatFile(f, off)
 		if err != nil {

@@ -37,8 +37,16 @@ type FlatIndex struct {
 	flat *label.FlatIndex
 	// bwd holds the backward runs of a directed index (same vertex
 	// space and ordering as flat); nil for undirected indexes.
-	bwd  *label.FlatIndex
-	perm []int // rank -> original id, for reporting witness hubs
+	bwd *label.FlatIndex
+	// cflat/cbwd are the compressed (CHFX v4) siblings of flat/bwd: an
+	// index is either fixed-width (flat non-nil) or compressed (cflat
+	// non-nil), never both. Compressed queries go through
+	// label.JoinCompressed, which skips non-overlapping label blocks via
+	// their (minHub, maxHub) headers; everything else — permutation,
+	// directedness, serving tiers — is format-independent.
+	cflat *label.CompressedIndex
+	cbwd  *label.CompressedIndex
+	perm  []int // rank -> original id, for reporting witness hubs
 
 	// Set by LoadFlatMapped: the arrays alias a memory-mapped file that
 	// close releases. Heap-backed indexes leave both zero.
@@ -48,7 +56,11 @@ type FlatIndex struct {
 
 // Directed reports whether the index holds directed (forward + backward)
 // label runs.
-func (fx *FlatIndex) Directed() bool { return fx.bwd != nil }
+func (fx *FlatIndex) Directed() bool { return fx.bwd != nil || fx.cbwd != nil }
+
+// Compressed reports whether the index stores its labels as compressed
+// blocks (CHFX v4) rather than fixed-width packed entries.
+func (fx *FlatIndex) Compressed() bool { return fx.cflat != nil }
 
 // backward returns the store the backward run of a vertex comes from:
 // the backward half for directed indexes, the single (symmetric) store
@@ -60,6 +72,92 @@ func (fx *FlatIndex) backward() *label.FlatIndex {
 	return fx.flat
 }
 
+// cbackward is backward for a compressed index.
+func (fx *FlatIndex) cbackward() *label.CompressedIndex {
+	if fx.cbwd != nil {
+		return fx.cbwd
+	}
+	return fx.cflat
+}
+
+// labelCount returns the number of forward labels of v in either format —
+// the shard ownership audit walks this over every vertex.
+func (fx *FlatIndex) labelCount(v int) int {
+	if fx.cflat != nil {
+		return fx.cflat.LabelCount(v)
+	}
+	return fx.flat.LabelCount(v)
+}
+
+// backwardLabelCount is labelCount for the backward half of a directed
+// index.
+func (fx *FlatIndex) backwardLabelCount(v int) int {
+	if fx.cbwd != nil {
+		return fx.cbwd.LabelCount(v)
+	}
+	return fx.bwd.LabelCount(v)
+}
+
+// forwardRun returns the forward packed run of v in the fixed-width wire
+// layout regardless of the index's storage format: zero-copy from a
+// fixed-width store, materialized (decoded) from a compressed one. The
+// /shardquery protocol ships these rows, so routed answers are
+// byte-identical whichever format each shard serves.
+func (fx *FlatIndex) forwardRun(v int) []uint64 {
+	if fx.cflat != nil {
+		return fx.cflat.AppendPackedRun(nil, v)
+	}
+	return fx.flat.PackedRun(v)
+}
+
+// backwardRun is forwardRun for the backward half (the forward store for
+// undirected indexes).
+func (fx *FlatIndex) backwardRun(v int) []uint64 {
+	if fx.cflat != nil {
+		return fx.cbackward().AppendPackedRun(nil, v)
+	}
+	return fx.backward().PackedRun(v)
+}
+
+// Compress returns a compressed (CHFX v4) copy of the index: the same
+// labels, permutation and directedness, with the label arrays re-encoded
+// as delta+varint blocks (label.CompressBlocks). Saving the result writes
+// a version-4 file; the original index is untouched, so v2/v3 outputs
+// stay byte-identical.
+func (fx *FlatIndex) Compress() (*FlatIndex, error) {
+	if fx.cflat != nil {
+		return fx, nil
+	}
+	out := &FlatIndex{perm: append([]int(nil), fx.perm...)}
+	var err error
+	if out.cflat, err = label.Compress(fx.flat); err != nil {
+		return nil, err
+	}
+	if fx.bwd != nil {
+		if out.cbwd, err = label.Compress(fx.bwd); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Decompress returns a fixed-width copy of a compressed index (the
+// inverse of Compress, with identical labels); on a fixed-width index it
+// returns the index itself.
+func (fx *FlatIndex) Decompress() *FlatIndex {
+	if fx.cflat == nil {
+		return fx
+	}
+	out := &FlatIndex{
+		flat: fx.cflat.Decompress(),
+		perm: append([]int(nil), fx.perm...),
+	}
+	if fx.cbwd != nil {
+		out.bwd = fx.cbwd.Decompress()
+	}
+	return out
+}
+
 // Mapped reports whether the index serves zero-copy from a memory-mapped
 // file (LoadFlatMapped / OpenFlat) rather than from heap arrays.
 func (fx *FlatIndex) Mapped() bool { return fx.mapped }
@@ -68,7 +166,12 @@ func (fx *FlatIndex) Mapped() bool { return fx.mapped }
 // kernel faults the file in before the first query, returning the number
 // of pages walked (0 for heap-backed indexes, which are always resident).
 // Server.SetPrefault runs this on reloads before the hot swap.
-func (fx *FlatIndex) Prefault() int { return fx.flat.Prefault() }
+func (fx *FlatIndex) Prefault() int {
+	if fx.cflat != nil {
+		return fx.cflat.Prefault()
+	}
+	return fx.flat.Prefault()
+}
 
 // Close releases the file mapping of a mapped index; the index must not
 // be queried afterwards. On heap-backed indexes Close is a no-op. It is
@@ -112,12 +215,35 @@ func (ix *Index) Freeze() (*FlatIndex, error) {
 	}, nil
 }
 
+// FreezeCompressed is Freeze followed by Compress: the index packed
+// straight into compressed label blocks, ready to save as a CHFX v4 file
+// or serve through the block-skipping kernel.
+func (ix *Index) FreezeCompressed() (*FlatIndex, error) {
+	fx, err := ix.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return fx.Compress()
+}
+
 // NumVertices returns the number of vertices the index covers.
-func (fx *FlatIndex) NumVertices() int { return fx.flat.NumVertices() }
+func (fx *FlatIndex) NumVertices() int {
+	if fx.cflat != nil {
+		return fx.cflat.NumVertices()
+	}
+	return fx.flat.NumVertices()
+}
 
 // TotalLabels returns the packed label count (both halves for directed
 // indexes).
 func (fx *FlatIndex) TotalLabels() int64 {
+	if fx.cflat != nil {
+		t := fx.cflat.NumLabels()
+		if fx.cbwd != nil {
+			t += fx.cbwd.NumLabels()
+		}
+		return t
+	}
 	t := fx.flat.NumLabels()
 	if fx.bwd != nil {
 		t += fx.bwd.NumLabels()
@@ -125,10 +251,17 @@ func (fx *FlatIndex) TotalLabels() int64 {
 	return t
 }
 
-// TotalMemory returns the byte footprint of the packed arrays (8 bytes per
-// label + 4 per vertex, versus 16 per label plus a slice header per vertex
-// for the slice-based Index).
+// TotalMemory returns the byte footprint of the label arrays (8 bytes per
+// label + 4 per vertex for the fixed-width format; the encoded block
+// bytes plus headers for a compressed index).
 func (fx *FlatIndex) TotalMemory() int64 {
+	if fx.cflat != nil {
+		t := fx.cflat.TotalMemory()
+		if fx.cbwd != nil {
+			t += fx.cbwd.TotalMemory()
+		}
+		return t
+	}
 	t := fx.flat.TotalMemory()
 	if fx.bwd != nil {
 		t += fx.bwd.TotalMemory()
@@ -140,6 +273,10 @@ func (fx *FlatIndex) TotalMemory() int64 {
 // ids u and v (the u→v distance on directed indexes), or Infinity if
 // unreachable.
 func (fx *FlatIndex) Query(u, v int) float64 {
+	if fx.cflat != nil {
+		d, _, _ := label.JoinCompressed(fx.cflat.Run(u), fx.cbackward().Run(v))
+		return d
+	}
 	if fx.bwd != nil {
 		d, _, _ := label.JoinPacked(fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
 		return d
@@ -150,7 +287,9 @@ func (fx *FlatIndex) Query(u, v int) float64 {
 // QueryHub additionally reports the witness hub (as an original id).
 func (fx *FlatIndex) QueryHub(u, v int) (dist float64, hub int, ok bool) {
 	var h uint32
-	if fx.bwd != nil {
+	if fx.cflat != nil {
+		dist, h, ok = label.JoinCompressed(fx.cflat.Run(u), fx.cbackward().Run(v))
+	} else if fx.bwd != nil {
 		dist, h, ok = label.JoinPacked(fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
 	} else {
 		dist, h, ok = fx.flat.QueryHub(u, v)
@@ -167,13 +306,19 @@ type QueryScratch = label.QueryScratch
 
 // NewScratch allocates a probe buffer sized for this index.
 func (fx *FlatIndex) NewScratch() *QueryScratch {
-	return label.NewQueryScratch(fx.flat.NumVertices())
+	return label.NewQueryScratch(fx.NumVertices())
 }
 
 // QueryWith is Query through a hash-join over the caller's scratch buffer
 // instead of a merge-join — the fast path for serving loops, worth ~2× on
 // indexes whose scratch stays cache-resident (see label.FlatIndex).
+// Compressed indexes have no hash-join (their entries decode blockwise);
+// they answer through the block-skipping merge, ignoring the scratch.
 func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
+	if fx.cflat != nil {
+		d, _, _ := label.JoinCompressed(fx.cflat.Run(u), fx.cbackward().Run(v))
+		return d
+	}
 	if fx.bwd != nil {
 		d, _, _ := label.JoinPackedWith(s, fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
 		return d
@@ -186,7 +331,9 @@ func (fx *FlatIndex) QueryWith(s *QueryScratch, u, v int) float64 {
 // speed.
 func (fx *FlatIndex) QueryHubWith(s *QueryScratch, u, v int) (dist float64, hub int, ok bool) {
 	var h uint32
-	if fx.bwd != nil {
+	if fx.cflat != nil {
+		dist, h, ok = label.JoinCompressed(fx.cflat.Run(u), fx.cbackward().Run(v))
+	} else if fx.bwd != nil {
 		dist, h, ok = label.JoinPackedWith(s, fx.flat.PackedRun(u), fx.bwd.PackedRun(v))
 	} else {
 		dist, h, ok = fx.flat.QueryHubWith(s, u, v)
@@ -199,7 +346,12 @@ func (fx *FlatIndex) QueryHubWith(s *QueryScratch, u, v int) (dist float64, hub 
 
 // Thaw unpacks the flat store back into a queryable Index (labels only —
 // build metrics and per-node partitions are not part of the flat format).
+// A compressed index thaws through its fixed-width expansion; either
+// format thaws to the same Index.
 func (fx *FlatIndex) Thaw() *Index {
+	if fx.cflat != nil {
+		return fx.Decompress().Thaw()
+	}
 	n := fx.flat.NumVertices()
 	rank := make([]int, n)
 	for pos, v := range fx.perm {
@@ -358,14 +510,17 @@ const hashServeMaxVertices = 1 << 17
 // backward(v) hub join — one cache and scratch-size policy for both.
 func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
 	fx := e.fx
+	// Compressed indexes have one kernel (the block-skipping merge); the
+	// hash-join cutoff below only applies to fixed-width stores.
+	hashServe := !fx.Compressed() && fx.NumVertices() <= hashServeMaxVertices
 	if e.cache != nil {
 		// Cached path: each worker consults the shared sharded cache and
 		// computes misses with a hub-reporting kernel, so the cache
 		// always holds the complete answer (/dist can reuse a /batch
 		// miss and vice versa). Misses keep the hash-join fast path
 		// whenever the uncached engine would use it.
-		if fx.flat.NumVertices() <= hashServeMaxVertices {
-			s := label.NewQueryScratch(fx.flat.NumVertices())
+		if hashServe {
+			s := label.NewQueryScratch(fx.NumVertices())
 			for i := lo; i < hi; i++ {
 				p := pairs[i]
 				if a, hit := e.cache.Get(p.U, p.V); hit {
@@ -384,8 +539,8 @@ func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
 		}
 		return
 	}
-	if fx.flat.NumVertices() <= hashServeMaxVertices {
-		s := label.NewQueryScratch(fx.flat.NumVertices()) // per-worker probe buffer
+	if hashServe {
+		s := label.NewQueryScratch(fx.NumVertices()) // per-worker probe buffer
 		for i := lo; i < hi; i++ {
 			dst[i] = fx.QueryWith(s, pairs[i].U, pairs[i].V)
 		}

@@ -215,13 +215,13 @@ func (s *Server) checkShardFile(fx *FlatIndex) error {
 		return fmt.Errorf("chl: index directed=%v but this shard serves a directed=%v cluster — wrong shard file?", fx.Directed(), s.shardDirected)
 	}
 	for v := 0; v < n; v++ {
-		if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.flat.LabelCount(v) > 0 {
+		if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.labelCount(v) > 0 {
 			return fmt.Errorf("chl: index holds labels for vertex %d, which shard %d does not own — wrong shard file, or a file from a re-split cluster?", v, s.shardID)
 		}
 	}
-	if fx.bwd != nil {
+	if fx.Directed() {
 		for v := 0; v < n; v++ {
-			if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.bwd.LabelCount(v) > 0 {
+			if s.owned[v>>6]&(1<<(v&63)) == 0 && fx.backwardLabelCount(v) > 0 {
 				return fmt.Errorf("chl: index holds backward labels for vertex %d, which shard %d does not own — wrong shard file, or a file from a re-split cluster?", v, s.shardID)
 			}
 		}
@@ -392,6 +392,7 @@ type ServerStats struct {
 	MemoryBytes   int64       `json:"memory_bytes"`
 	Mapped        bool        `json:"mapped"`
 	Directed      bool        `json:"directed"`
+	Compressed    bool        `json:"compressed"`
 	Path          string      `json:"path,omitempty"`
 	Generation    uint64      `json:"generation"`
 	LoadedAt      time.Time   `json:"loaded_at"`
@@ -418,6 +419,7 @@ func (s *Server) Stats() ServerStats {
 		MemoryBytes:   sn.fx.TotalMemory(),
 		Mapped:        sn.fx.Mapped(),
 		Directed:      sn.fx.Directed(),
+		Compressed:    sn.fx.Compressed(),
 		Path:          sn.path,
 		Generation:    sn.gen,
 		LoadedAt:      sn.loadedAt,
@@ -617,6 +619,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		"generation": sn.gen,
 		"path":       sn.path,
 		"mapped":     sn.fx.Mapped(),
+		"compressed": sn.fx.Compressed(),
 		"vertices":   sn.fx.NumVertices(),
 		"labels":     sn.fx.TotalLabels(),
 	}
@@ -710,7 +713,7 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 			s.misdirected(w, v)
 			return
 		}
-		resp.Rows[strconv.Itoa(v)] = encodePackedRun(sn.fx.flat.PackedRun(v))
+		resp.Rows[strconv.Itoa(v)] = encodePackedRun(sn.fx.forwardRun(v))
 	}
 	if len(req.Backward) > 0 {
 		resp.BackRows = make(map[string]string, len(req.Backward))
@@ -724,7 +727,7 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 			s.misdirected(w, v)
 			return
 		}
-		resp.BackRows[strconv.Itoa(v)] = encodePackedRun(sn.fx.backward().PackedRun(v))
+		resp.BackRows[strconv.Itoa(v)] = encodePackedRun(sn.fx.backwardRun(v))
 	}
 	if len(req.Resolve) > 0 {
 		resp.Resolved = make(map[string]int, len(req.Resolve))
@@ -776,6 +779,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promGauge(w, "chl_index_memory_bytes", "Byte footprint of the served label arrays.", float64(st.MemoryBytes))
 	promGauge(w, "chl_index_mapped", "1 when the index is served from a memory mapping.", boolGauge(st.Mapped))
 	promGauge(w, "chl_index_directed", "1 when the served index holds directed (forward/backward) labels.", boolGauge(st.Directed))
+	promGauge(w, "chl_index_compressed", "1 when the served index stores compressed label blocks (CHFX v4).", boolGauge(st.Compressed))
 	promGauge(w, "chl_index_generation", "Current snapshot generation.", float64(st.Generation))
 	promGauge(w, "chl_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
 	promCounter(w, "chl_queries_total", "Point-to-point queries answered.", st.Queries)

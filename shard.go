@@ -28,17 +28,30 @@ func (fx *FlatIndex) Shard(p *shard.Partition, id int) (*FlatIndex, error) {
 		return nil, fmt.Errorf("chl: shard id %d out of range [0,%d)", id, p.Shards())
 	}
 	keep := func(v int) bool { return p.Owner(v) == id }
-	out := &FlatIndex{
-		flat: fx.flat.Slice(keep),
-		perm: append([]int(nil), fx.perm...),
+	return fx.slice(keep), nil
+}
+
+// slice carves out a copy of fx keeping only the label runs keep selects,
+// in fx's own format — compressed indexes slice blockwise without
+// re-encoding (label.CompressedIndex.Slice), so compressed shard files
+// inherit the format of the index they were cut from.
+func (fx *FlatIndex) slice(keep func(v int) bool) *FlatIndex {
+	out := &FlatIndex{perm: append([]int(nil), fx.perm...)}
+	if fx.cflat != nil {
+		out.cflat = fx.cflat.Slice(keep)
+		if fx.cbwd != nil {
+			out.cbwd = fx.cbwd.Slice(keep)
+		}
+		return out
 	}
+	out.flat = fx.flat.Slice(keep)
 	if fx.bwd != nil {
 		// A directed slice keeps both label halves of its owned vertices:
 		// the router joins forward(u) from u's shard with backward(v)
 		// from v's.
 		out.bwd = fx.bwd.Slice(keep)
 	}
-	return out, nil
+	return out
 }
 
 // SaveShards slices fx into a cluster of shards per-shard flat index
@@ -67,13 +80,7 @@ func (fx *FlatIndex) SaveShards(dir string, shards, replicas int, seed uint64) (
 	files := make([]string, shards)
 	for id := 0; id < shards; id++ {
 		keep := func(v int) bool { return owners[v] == int32(id) }
-		slice := &FlatIndex{
-			flat: fx.flat.Slice(keep),
-			perm: fx.perm,
-		}
-		if fx.bwd != nil {
-			slice.bwd = fx.bwd.Slice(keep)
-		}
+		slice := fx.slice(keep)
 		files[id] = fmt.Sprintf("shard-%03d.flat", id)
 		if err := slice.SaveFile(filepath.Join(dir, files[id])); err != nil {
 			return nil, fmt.Errorf("chl: writing shard %d: %w", id, err)
