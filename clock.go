@@ -1,0 +1,136 @@
+package chl
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time sources the router's traffic machinery reads:
+// replica ejection and probation deadlines, hedge timers, and the
+// per-client token buckets all go through the router's Clock instead of
+// the time package directly. Production routers use the real clock
+// (RouterConfig.Clock nil); tests inject a FakeClock and step it
+// explicitly, which is what lets the probation/hedging/quota tests run
+// deterministically with no real sleeps.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a stoppable timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the stoppable half of Clock.NewTimer — time.Timer's shape,
+// behind an interface so a fake clock can fire it on demand.
+type Timer interface {
+	// C returns the channel the timer delivers on.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing, reporting whether it was
+	// still pending. A fired or stopped timer returns false.
+	Stop() bool
+}
+
+// realClock is the production Clock: straight delegation to package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// FakeClock is a manually advanced Clock for tests: Now returns a fixed
+// instant until Advance moves it, and Advance fires every timer that has
+// come due. It is exported because RouterConfig.Clock is — embedders
+// testing their own router wiring need the same determinism this
+// package's tests use. Safe for concurrent use.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a FakeClock pinned at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now returns the fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After is NewTimer(d).C() — the timer cannot be stopped, matching
+// time.After.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time { return c.NewTimer(d).C() }
+
+// NewTimer returns a timer that fires when the clock is advanced past
+// d from now. A non-positive d fires immediately, like time.NewTimer.
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+		return t
+	}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d and fires every pending timer
+// whose deadline has passed, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due, keep []*fakeTimer
+	for _, t := range c.timers {
+		if t.at.After(now) {
+			keep = append(keep, t)
+		} else {
+			due = append(due, t)
+		}
+	}
+	c.timers = keep
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		t.fire(now)
+	}
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+
+	mu      sync.Mutex
+	fired   bool
+	stopped bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pending := !t.fired && !t.stopped
+	t.stopped = true
+	return pending
+}
+
+func (t *fakeTimer) fire(now time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fired || t.stopped {
+		return
+	}
+	t.fired = true
+	t.ch <- now // buffered: never blocks
+}

@@ -23,14 +23,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	chl "repro"
+	"repro/internal/shard"
 )
 
 // KernelStats is one kernel's micro-benchmark over the fixture's pairs.
@@ -61,6 +67,16 @@ type FixtureReport struct {
 	Agree           bool                   `json:"agree"`
 }
 
+// RouterSmoke is the traffic-shaping gate: a small replicated cluster
+// served through the router with hedging and per-client quotas on must
+// export live chl_router_{hedges,collapsed,shed}_total metrics.
+type RouterSmoke struct {
+	Hedges    float64 `json:"hedges_total"`
+	Collapsed float64 `json:"collapsed_total"`
+	Shed      float64 `json:"shed_total"`
+	OK        bool    `json:"ok"`
+}
+
 // Report is the BENCH_chl.json schema.
 type Report struct {
 	Generated time.Time       `json:"generated"`
@@ -68,6 +84,7 @@ type Report struct {
 	Queries   int             `json:"queries"`
 	Seed      int64           `json:"seed"`
 	Fixtures  []FixtureReport `json:"fixtures"`
+	Router    *RouterSmoke    `json:"router,omitempty"`
 	OK        bool            `json:"ok"`
 }
 
@@ -116,6 +133,12 @@ func main() {
 		if !fr.Agree || fr.SavingsPct < 25 {
 			rep.OK = false
 		}
+	}
+
+	rs := routerSmoke(fixtures[0].g, *seed)
+	rep.Router = &rs
+	if !rs.OK {
+		rep.OK = false
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -290,6 +313,147 @@ func timeHTTP(fx *chl.FlatIndex, us, vs []int, httpQ int) HTTPStats {
 		DistP99Us:  p99,
 		BatchMs:    float64(batch.Microseconds()) / 1000,
 	}
+}
+
+// routerSmoke runs the traffic-shaping gate: a 2-shard × 2-replica
+// in-process cluster with one deliberately slow replica, served through
+// a router with hedging and per-client quotas enabled. Direct query load
+// must fire hedges, a duplicate-query wave must collapse, a greedy HTTP
+// client must be shed with a 429, and all three counters must show up in
+// /metrics with their live values.
+func routerSmoke(g *chl.Graph, seed int64) RouterSmoke {
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fx, err := ix.Freeze()
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "chlbench-router-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	m, err := fx.SaveShards(dir, 2, 64, 1)
+	if err != nil {
+		fatal(err)
+	}
+	part, err := m.Partition()
+	if err != nil {
+		fatal(err)
+	}
+
+	const slowDelay = 5 * time.Millisecond
+	groups := make([][]string, m.Shards)
+	for sid := 0; sid < m.Shards; sid++ {
+		path, err := chl.ShardFilePath(filepath.Join(dir, shard.ManifestName), m, sid)
+		if err != nil {
+			fatal(err)
+		}
+		for rid := 0; rid < 2; rid++ {
+			s, err := chl.NewServer(path, 0)
+			if err != nil {
+				fatal(err)
+			}
+			defer s.Close()
+			if err := s.SetShard(sid, part); err != nil {
+				fatal(err)
+			}
+			h := s.Handler()
+			if sid == 0 && rid == 1 { // the hedging target
+				inner := h
+				h = http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+					time.Sleep(slowDelay)
+					inner.ServeHTTP(w, req)
+				})
+			}
+			ts := httptest.NewServer(h)
+			defer ts.Close()
+			groups[sid] = append(groups[sid], ts.URL)
+		}
+	}
+	r, err := chl.NewRouter(chl.RouterConfig{
+		Manifest:     m,
+		ReplicaAddrs: groups,
+		HedgeDelay:   time.Millisecond,
+		ClientQPS:    1,
+		ClientBurst:  1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Load: plain queries fire hedges off the slow replica; concurrent
+	// duplicate waves collapse into shared flights.
+	n := fx.NumVertices()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 100; i++ {
+		if _, err := r.Query(rng.Intn(n), rng.Intn(n)); err != nil {
+			fatal(err)
+		}
+	}
+	for wave := 0; wave < 50 && r.Stats().Collapsed == 0; wave++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, _, _, _ = r.QueryHub(u, v)
+			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+
+	// A greedy client (QPS 1, burst 1) must draw at least one 429.
+	routerTS := httptest.NewServer(r.Handler())
+	defer routerTS.Close()
+	for i := 0; i < 5; i++ {
+		req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/dist?u=0&v=%d", routerTS.URL, i+1), nil)
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set(chl.QuotaKeyHeader, "chlbench-greedy")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(routerTS.URL + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	metric := func(name string) float64 {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+				if err != nil {
+					fatal(fmt.Errorf("metric %s: %w", name, err))
+				}
+				return v
+			}
+		}
+		return -1 // family missing entirely
+	}
+	rs := RouterSmoke{
+		Hedges:    metric("chl_router_hedges_total"),
+		Collapsed: metric("chl_router_collapsed_total"),
+		Shed:      metric("chl_router_shed_total"),
+	}
+	rs.OK = rs.Hedges > 0 && rs.Collapsed > 0 && rs.Shed > 0
+	fmt.Printf("router     hedges=%g collapsed=%g shed=%g ok=%v\n", rs.Hedges, rs.Collapsed, rs.Shed, rs.OK)
+	return rs
 }
 
 func fatal(err error) {

@@ -42,6 +42,17 @@
 // distance, the router's answer cache keys on ordered pairs, and
 // cross-shard joins fetch u's forward row and v's backward row. No extra
 // flags are needed — directedness travels with the manifest.
+//
+// The front door is traffic-shaped: identical in-flight (u,v) queries
+// always collapse into one backend round trip (singleflight);
+// -hedge-after fires a slow shard request at a second replica and takes
+// whichever answers first; -max-inflight and -client-qps/-client-burst
+// shed excess load with a 429 whose JSON body is {"error", "reason",
+// "retry_after_seconds"} (reason "over_capacity" or "client_quota",
+// clients keyed on the X-Client-ID header with the remote host as
+// fallback) plus a whole-second Retry-After header. Hedge, collapse,
+// and shed counts surface in /stats and as
+// chl_router_{hedges,collapsed,shed}_total in /metrics.
 package main
 
 import (
@@ -66,6 +77,10 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Second, "per-shard request timeout")
 		ejectAfter   = flag.Int("eject-after", 3, "consecutive failures before a replica is ejected from rotation")
 		probation    = flag.Duration("probation", 2*time.Second, "how long an ejected replica sits out before one request probes it")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "fire a shard request at a second replica after this delay, first answer wins (0 disables hedging)")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently served /dist and /batch requests; excess shed with 429 (0 disables)")
+		clientQPS    = flag.Float64("client-qps", 0, "per-client sustained requests/second on /dist and /batch, keyed on X-Client-ID or remote host; over-quota requests shed with 429 (0 disables)")
+		clientBurst  = flag.Int("client-burst", 0, "per-client burst on top of -client-qps (default max(1, -client-qps))")
 	)
 	flag.Parse()
 
@@ -89,12 +104,18 @@ func main() {
 		Timeout:      *timeout,
 		EjectAfter:   *ejectAfter,
 		Probation:    *probation,
+		HedgeDelay:   *hedgeAfter,
+		MaxInFlight:  *maxInFlight,
+		ClientQPS:    *clientQPS,
+		ClientBurst:  *clientBurst,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("cluster: n=%d shards=%d ring-replicas=%d directed=%v cache=%d eject-after=%d probation=%v\n",
 		m.Vertices, m.Shards, m.Replicas, m.Directed, *cacheCap, *ejectAfter, *probation)
+	fmt.Printf("shaping: hedge-after=%v max-inflight=%d client-qps=%g client-burst=%d (0 = disabled)\n",
+		*hedgeAfter, *maxInFlight, *clientQPS, *clientBurst)
 	for _, h := range r.Health() {
 		states := make([]string, len(h.Replicas))
 		for j, rh := range h.Replicas {

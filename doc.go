@@ -140,6 +140,28 @@
 // ARCHITECTURE.md ("Sharded serving", "Replicated serving", "Directed
 // serving") has the topology, file layout, and protocol.
 //
+// # Traffic shaping
+//
+// The router's front door is shaped (all knobs default to off).
+// Identical in-flight (u,v) queries collapse into one backend round
+// trip — duplicate suppression behind the answer cache, keyed by the
+// cache's pair discipline plus a needs-witness-hub bit. With
+// RouterConfig.HedgeDelay set, a shard request that has not answered in
+// time fires once more at a second replica and the first answer wins;
+// the canceled loser is health-neutral. RouterConfig.MaxInFlight and
+// ClientQPS/ClientBurst shed excess HTTP load with a 429 whose JSON
+// body carries reason ("over_capacity" or "client_quota") and
+// retry_after_seconds, plus a whole-second Retry-After header; clients
+// are keyed on the X-Client-ID header (QuotaKeyHeader) with the remote
+// host as fallback, and operator endpoints are never shed. Cache
+// identity is content-addressed: responses carry a hash of the
+// snapshot's bytes, so restarts and same-content reloads keep the
+// router's cache while real content changes retire it exactly once.
+// Everything time-driven — hedge timers, ejection, probation, token
+// buckets — reads RouterConfig.Clock, so tests inject FakeClock and
+// step it deterministically. ARCHITECTURE.md ("Traffic shaping") has
+// the design.
+//
 // # Distributed execution
 //
 // The paper runs on a 64-node MPI cluster. This package simulates that

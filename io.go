@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 
@@ -229,6 +230,24 @@ func (fx *FlatIndex) Save(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// ContentHash returns a durable identity for the index's content: an
+// FNV-1a hash of its serialized (Save) byte stream, truncated to 53 bits
+// (so it survives the float64 round trip JSON consumers impose — the
+// router's /reload proxy decodes identities from JSON numbers) and never
+// zero (zero means "no identity observed" on the wire). Two processes
+// serving byte-identical snapshots — e.g. a coordinated restart over the
+// same shard file — report the same ContentHash, which is what lets the
+// router keep its answer cache across restarts that changed nothing.
+func (fx *FlatIndex) ContentHash() uint64 {
+	h := fnv.New64a()
+	_ = fx.Save(h) // writes to a hash.Hash64 cannot fail
+	v := h.Sum64() & (1<<53 - 1)
+	if v == 0 {
+		v = 1
+	}
+	return v
 }
 
 // SaveFile writes the flat index to a file.

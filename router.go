@@ -2,6 +2,7 @@ package chl
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -63,15 +64,27 @@ import (
 //
 // The router keeps its own sharded LRU answer cache (the PR-2 Cache).
 // Every shard response carries the answering replica's snapshot identity
-// — its generation plus a per-process epoch, so restarts are as visible
-// as reloads; identities are tracked per replica (two replicas of one
-// shard are different processes with different epochs). When any
-// replica's identity advances — it reloaded or restarted, possibly
-// before its siblings — the router retires the whole cache: the same "a
-// cache never outlives its index" rule the single-process tier enforces
-// per Snapshot, lifted to the cluster. A sibling that did not change
-// keeps validating against its own unchanged identity, so its answers
-// re-enter the fresh cache immediately.
+// — its generation, a per-process epoch, and the snapshot's content hash
+// (FlatIndex.ContentHash), so restarts are as visible as reloads;
+// identities are tracked per replica (two replicas of one shard are
+// different processes with different epochs). When any replica's
+// identity moves to different content — it reloaded or restarted over
+// changed bytes, possibly before its siblings — the router retires the
+// whole cache: the same "a cache never outlives its index" rule the
+// single-process tier enforces per Snapshot, lifted to the cluster. An
+// identity that moved over the SAME content — a restart or no-op reload,
+// even a coordinated whole-cluster restart — keeps the cache, because
+// the durable content hash vouches for every cached answer. A sibling
+// that did not change keeps validating against its own unchanged
+// identity, so its answers re-enter a fresh cache immediately.
+//
+// The front door is traffic-shaped (see shaping.go and the "Traffic
+// shaping" chapter of ARCHITECTURE.md): identical in-flight queries are
+// collapsed to one backend round trip, slow shard calls are hedged at a
+// second replica after HedgeDelay, overload is shed with 429s (global
+// concurrency gate + per-client token buckets), and cross-shard witness
+// resolutions are conflated into batched calls. All of its timers read
+// the injected Clock, so every behavior is testable under a FakeClock.
 //
 // Failures degrade per shard: a query touching only shards with at least
 // one live replica is unaffected, and one touching a fully-down shard
@@ -97,37 +110,66 @@ type Router struct {
 	ejectAfter int64
 	probation  time.Duration
 
-	metrics     *httpMetrics
-	queries     atomic.Int64
-	crossJoins  atomic.Int64
-	failovers   atomic.Int64
-	cacheResets atomic.Int64
-	start       time.Time
+	// Traffic shaping (see shaping.go and ARCHITECTURE.md): every time
+	// source below goes through clock so the hedging/ejection/quota
+	// machinery is deterministic under a FakeClock.
+	clock       Clock
+	hedgeDelay  time.Duration // 0 disables hedging
+	maxInFlight int64         // 0 disables the concurrency gate
+	flights     flightGroup   // collapses identical in-flight pairs
+	quota       *quotaLimiter // nil disables per-client quotas
+
+	metrics        *httpMetrics
+	queries        atomic.Int64
+	crossJoins     atomic.Int64
+	failovers      atomic.Int64
+	cacheResets    atomic.Int64
+	hedges         atomic.Int64 // hedge attempts actually launched
+	collapsed      atomic.Int64 // queries collapsed into another's flight
+	shed           atomic.Int64 // HTTP requests answered 429
+	shapeInFlight  atomic.Int64 // /dist + /batch currently being served
+	resolveRanks   atomic.Int64 // witness ranks resolved (batched or not)
+	resolveBatches atomic.Int64 // /shardquery resolve round trips
+	start          time.Time
+
+	// Per-replica witness-resolution batchers (resolveRankOn): conflates
+	// concurrent rank resolutions pinned to one replica into single
+	// batched /shardquery calls. Keyed by replica pointer, so the map is
+	// bounded by the cluster size.
+	resolveMu sync.Mutex
+	resolvers map[*replica]*resolveBatcher
 
 	scratch sync.Pool // *label.QueryScratch sized n, for cross-shard joins
 }
 
 // routerState pairs the answer cache with the per-replica snapshot
-// identities it was built against. Identity is the (epoch, generation)
-// pair each shard replica stamps its responses with: generations restart
-// at 1 in every process, so the random per-process epoch makes a replica
-// restart (possibly over different content) as visible as a reload.
+// identities it was built against. Identity is the (epoch, generation,
+// content-hash) triple each shard replica stamps its responses with:
+// generations restart at 1 in every process, so the per-process epoch
+// makes a replica restart as visible as a reload, and the content hash
+// (FlatIndex.ContentHash, durable across processes and hosts) says
+// whether the bytes behind the new identity actually changed.
 // Identities are totally ordered — generations within one process, and
 // epochs across processes (an epoch leads with its process start time in
 // milliseconds; see Server) — which lets noteGenerations ignore any
 // stale observation from a request that raced a reload or restart
-// instead of mistaking it for another change. (0,0) means "not yet
-// observed". The state is swapped atomically whenever a replica's
-// identity advances, so answers computed against a retired snapshot
-// can never enter the live cache.
+// instead of mistaking it for another change. The zero genObs means
+// "not yet observed". The state is swapped atomically whenever a
+// replica's identity moves, so answers computed against a retired
+// snapshot can never enter the live cache — but the cache itself is
+// only retired when the content hash changed: a coordinated restart
+// over the same slice files moves every epoch and costs nothing.
 type routerState struct {
 	idents [][]genObs // [shard][replica]
 	cache  *Cache
 }
 
-// genObs is one observed snapshot identity.
+// genObs is one observed snapshot identity. hash is the snapshot's
+// content hash (0 = backend predates stamping / unknown, treated as
+// always-changed for safety).
 type genObs struct {
 	epoch, gen uint64
+	hash       uint64
 }
 
 // repRef names one replica of one shard — the key identity observations
@@ -205,39 +247,48 @@ func (rep *replica) succeed() {
 	rep.mu.Unlock()
 }
 
-// fail records a replica-level failure (transport error or 5xx): it
-// counts toward ejection, and a failure while ejected — a probe, or a
-// desperation attempt with every sibling down — pushes the next probe a
-// full probation window out.
-func (rep *replica) fail(err error, ejectAfter int64, probation time.Duration) {
+// fail records a replica-level failure (transport error or 5xx) at time
+// now (the router's clock — fake in tests): it counts toward ejection,
+// and a failure while ejected — a probe, or a desperation attempt with
+// every sibling down — pushes the next probe a full probation window
+// out.
+func (rep *replica) fail(err error, ejectAfter int64, probation time.Duration, now time.Time) {
 	rep.errors.Add(1)
 	rep.setErr(err)
 	fails := rep.consecFails.Add(1)
 	if rep.state.Load() == replicaEjected {
-		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+		rep.retryAt.Store(now.Add(probation).UnixNano())
 		rep.probing.Store(false)
 		return
 	}
 	if fails >= ejectAfter && rep.state.CompareAndSwap(replicaHealthy, replicaEjected) {
 		rep.ejections.Add(1)
-		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+		rep.retryAt.Store(now.Add(probation).UnixNano())
 	}
 }
 
 // terminalFail records a request-level failure — a 4xx or a malformed
-// payload. It counts as an error but not toward ejection (the transport
-// worked; a sibling would answer the same). An ejected replica whose
-// probe ends here must release the probe flag and wait out another
-// probation window: the probe proved the process answers, but not that
-// it serves — and a held flag would lock the replica out of re-probing
-// forever.
-func (rep *replica) terminalFail(err error, probation time.Duration) {
+// payload — at time now. It counts as an error but not toward ejection
+// (the transport worked; a sibling would answer the same). An ejected
+// replica whose probe ends here must release the probe flag and wait out
+// another probation window: the probe proved the process answers, but
+// not that it serves — and a held flag would lock the replica out of
+// re-probing forever.
+func (rep *replica) terminalFail(err error, probation time.Duration, now time.Time) {
 	rep.errors.Add(1)
 	rep.setErr(err)
 	if rep.state.Load() == replicaEjected {
-		rep.retryAt.Store(time.Now().Add(probation).UnixNano())
+		rep.retryAt.Store(now.Add(probation).UnixNano())
 		rep.probing.Store(false)
 	}
+}
+
+// hedgeCanceled records an attempt the router itself canceled (its hedge
+// sibling answered first). Health-neutral — the replica did nothing
+// wrong — but a held probe flag must be released, or a probe attempt
+// that lost a hedge race would lock its replica out of rotation forever.
+func (rep *replica) hedgeCanceled() {
+	rep.probing.Store(false)
 }
 
 // shardClient is one shard's replica group.
@@ -269,9 +320,10 @@ func (c *shardClient) addrList() string {
 //     must steer traffic, never fail a query a live replica could have
 //     answered.
 //
-// Returns nil once every replica has been tried.
-func (c *shardClient) pick(tried []bool) *replica {
-	now := time.Now().UnixNano()
+// Returns nil once every replica has been tried. now is the caller's
+// clock reading in unix nanos (the router's injected clock, so probation
+// expiry is testable without real sleeps).
+func (c *shardClient) pick(tried []bool, now int64) *replica {
 	for _, rep := range c.reps {
 		if tried[rep.id] || rep.state.Load() != replicaEjected {
 			continue
@@ -378,6 +430,29 @@ type RouterConfig struct {
 	// Probation is how long an ejected replica sits out before the
 	// router probes it with one request (default 2s).
 	Probation time.Duration
+	// HedgeDelay is how long a shard request waits before hedging: firing
+	// the same call at a second replica and taking whichever answers
+	// first (the loser is canceled). 0 disables hedging. Only shards with
+	// more than one replica hedge; witness-rank resolution never does
+	// (it is pinned to one process by construction).
+	HedgeDelay time.Duration
+	// MaxInFlight caps concurrently served /dist and /batch HTTP
+	// requests; excess requests are shed with a 429 (reason
+	// "over_capacity"). 0 disables the gate. Only shapes the HTTP front
+	// door — direct Query/Batch calls are never shed.
+	MaxInFlight int
+	// ClientQPS is the per-client sustained request rate on /dist and
+	// /batch, keyed on the X-Client-ID header (falling back to the remote
+	// host). Clients over quota are shed with a 429 (reason
+	// "client_quota"). 0 disables quotas.
+	ClientQPS float64
+	// ClientBurst is the per-client burst on top of ClientQPS; <= 0
+	// defaults to max(1, ClientQPS).
+	ClientBurst int
+	// Clock overrides the router's time source — hedging, ejection,
+	// probation, quotas, and uptime all read it. Nil means the real
+	// clock; tests inject a FakeClock.
+	Clock Clock
 	// Client overrides the HTTP client (tests, custom transports);
 	// Timeout is ignored when set.
 	Client *http.Client
@@ -429,16 +504,28 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if probation <= 0 {
 		probation = 2 * time.Second
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	hedgeDelay := cfg.HedgeDelay
+	if hedgeDelay < 0 {
+		hedgeDelay = 0
+	}
 	r := &Router{
-		n:          cfg.Manifest.Vertices,
-		part:       part,
-		directed:   cfg.Manifest.Directed,
-		client:     client,
-		cacheSize:  cfg.CacheSize,
-		ejectAfter: ejectAfter,
-		probation:  probation,
-		metrics:    newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
-		start:      time.Now(),
+		n:           cfg.Manifest.Vertices,
+		part:        part,
+		directed:    cfg.Manifest.Directed,
+		client:      client,
+		cacheSize:   cfg.CacheSize,
+		ejectAfter:  ejectAfter,
+		probation:   probation,
+		clock:       clock,
+		hedgeDelay:  hedgeDelay,
+		maxInFlight: int64(cfg.MaxInFlight),
+		quota:       newQuotaLimiter(clock, cfg.ClientQPS, cfg.ClientBurst),
+		metrics:     newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
+		start:       clock.Now(),
 	}
 	idents := make([][]genObs, len(groups))
 	for i, group := range groups {
@@ -494,6 +581,13 @@ func (r *Router) QueryHub(u, v int) (dist float64, hub int, ok bool, err error) 
 // the witness-rank resolution round trip on cross-shard misses — the
 // hub would be discarded anyway, and Batch already caches hub-less
 // answers the same way.
+//
+// Concurrent duplicate misses are collapsed (flightGroup): the first
+// caller for a pair routes it, everyone else arriving before it returns
+// waits for that answer — under hot-pair traffic a thundering herd
+// costs one backend round trip. The flight key follows the cache's
+// pairKey discipline (ordered for directed clusters), split by needHub
+// because a hub-less flight cannot feed a hub-needing caller.
 func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok bool, err error) {
 	if u < 0 || u >= r.n {
 		return 0, 0, false, &VertexRangeError{ID: u, N: r.n}
@@ -509,18 +603,41 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 		}
 	}
 	r.queries.Add(1)
+	ku, kv := u, v
+	if !r.directed && ku > kv {
+		ku, kv = kv, ku
+	}
+	key := flightKey{pair: uint64(uint32(ku))<<32 | uint64(uint32(kv)), hub: needHub}
+	res := r.flights.do(key, func() { r.collapsed.Add(1) }, func() flightResult {
+		return r.routeQueryHub(st, u, v, needHub)
+	})
+	if res.err != nil {
+		return 0, 0, false, res.err
+	}
+	return res.dist, res.hub, res.ok, nil
+}
+
+// routeQueryHub is the leader's half of queryHub: route the miss to the
+// owning shard(s) and feed the answer to the cache.
+func (r *Router) routeQueryHub(st *routerState, u, v int, needHub bool) flightResult {
 	su, sv := r.part.Owner(u), r.part.Owner(v)
 	obs := map[repRef]genObs{}
+	var (
+		dist float64
+		hub  int
+		ok   bool
+		err  error
+	)
 	if su == sv {
 		dist, hub, ok, err = r.fetchDist(su, u, v, obs)
 	} else {
 		dist, hub, ok, err = r.crossQueryHub(su, sv, u, v, obs, needHub)
 	}
 	if err != nil {
-		return 0, 0, false, err
+		return flightResult{err: err}
 	}
 	r.cachePut(st, obs, u, v, Answer{Dist: dist, Hub: hub, Reachable: ok})
-	return dist, hub, ok, nil
+	return flightResult{dist: dist, hub: hub, ok: ok}
 }
 
 // Batch answers a batch of queries through the cluster, returning the
@@ -757,15 +874,20 @@ func (r *Router) cachePut(st *routerState, obs map[repRef]genObs, u, v int, a An
 
 // noteGenerations folds freshly observed replica snapshot identities into
 // the router state. First observations are adopted, keeping the current
-// cache; an advance — a reload (same epoch, higher generation) or a
-// restart (new epoch) — swaps in a fresh state with an empty cache, the
-// cluster-level equivalent of the per-snapshot caches below. A stale
-// observation (same epoch, generation at or below the known one — a
-// slow response that started before a reload) is ignored rather than
-// treated as another change, so a reload under concurrent traffic
-// retires the cache exactly once. Identities are per replica: a replica
-// that reloads before its siblings retires the cache once, without
-// making the unchanged siblings look stale.
+// cache. An identity move — a reload (same epoch, higher generation) or
+// a restart (new epoch) — is classified by the snapshot content hash:
+// when the hash is unchanged (a process restart over the same slice
+// file, or a reload of identical bytes) the new identity is adopted
+// with the cache kept, because every cached answer is still an answer
+// the new snapshot would give; only a hash change retires the cache —
+// the cluster-level equivalent of the per-snapshot caches below. A
+// coordinated whole-cluster restart therefore costs zero cache resets.
+// A stale observation (same epoch, generation at or below the known one
+// — a slow response that started before a reload) is ignored rather
+// than treated as another change, so a content change under concurrent
+// traffic retires the cache exactly once. Identities are per replica: a
+// replica that reloads new content before its siblings retires the
+// cache once, without making the unchanged siblings look stale.
 func (r *Router) noteGenerations(obs map[repRef]genObs) {
 	// Clock-step pre-pass, once per call (not per CAS retry): count
 	// consecutive sightings of the same older epoch; past the threshold
@@ -798,7 +920,7 @@ func (r *Router) noteGenerations(obs map[repRef]genObs) {
 			switch {
 			case o.gen == 0: // no observation
 				return false
-			case cur == genObs{}: // first sighting of this replica
+			case cur.epoch == 0 && cur.gen == 0: // first sighting of this replica
 				return true
 			case o.epoch == cur.epoch: // same process: generations are ordered
 				return o.gen > cur.gen
@@ -814,9 +936,16 @@ func (r *Router) noteGenerations(obs map[repRef]genObs) {
 			if !apply(k, o) {
 				continue
 			}
-			if (st.idents[k.shard][k.rep] == genObs{}) {
+			cur := st.idents[k.shard][k.rep]
+			switch {
+			case cur.epoch == 0 && cur.gen == 0:
 				adopted = true
-			} else {
+			case o.hash != 0 && o.hash == cur.hash:
+				// The identity moved but the bytes behind it did not: a
+				// restart or no-op reload over the same content. Track the
+				// new identity, keep the cache.
+				adopted = true
+			default:
 				changed = true
 			}
 		}
@@ -864,7 +993,7 @@ func (e *terminalError) Unwrap() error { return e.err }
 // successful round trip whose payload turns out unusable (missing rows,
 // vertex-space mismatch) — the accounting is the same.
 func (r *Router) terminalErr(rep *replica, err error) *ShardError {
-	rep.terminalFail(err, r.probation)
+	rep.terminalFail(err, r.probation, r.clock.Now())
 	return &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}
 }
 
@@ -889,8 +1018,47 @@ func (r *Router) tryReplica(rep *replica, call func(rep *replica) error) (serr *
 	if errors.As(err, &term) {
 		return r.terminalErr(rep, term.err), true
 	}
-	rep.fail(err, r.ejectAfter, r.probation)
+	rep.fail(err, r.ejectAfter, r.probation, r.clock.Now())
 	return &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}, false
+}
+
+// attemptOutcome is one withReplica attempt's result. canceled marks an
+// attempt the router itself canceled (hedge loser): health-neutral, no
+// error, no answer.
+type attemptOutcome[T any] struct {
+	rep      *replica
+	out      *T
+	serr     *ShardError
+	terminal bool
+	canceled bool
+}
+
+// runAttempt runs one request attempt against rep under ctx with the
+// full health accounting: request/in-flight counters around call,
+// success resetting the ejection state and releasing any held probe, a
+// cancellation (the attempt lost a hedge race) health-neutral but still
+// releasing the probe, a terminal failure counted without feeding
+// ejection, and a replica-level failure feeding the ejection/probation
+// machinery.
+func runAttempt[T any](r *Router, ctx context.Context, rep *replica, call func(ctx context.Context, rep *replica) (*T, error)) attemptOutcome[T] {
+	rep.requests.Add(1)
+	rep.inflight.Add(1)
+	out, err := call(ctx, rep)
+	rep.inflight.Add(-1)
+	if err == nil {
+		rep.succeed()
+		return attemptOutcome[T]{rep: rep, out: out}
+	}
+	if ctx.Err() != nil {
+		rep.hedgeCanceled()
+		return attemptOutcome[T]{rep: rep, canceled: true}
+	}
+	var term *terminalError
+	if errors.As(err, &term) {
+		return attemptOutcome[T]{rep: rep, serr: r.terminalErr(rep, term.err), terminal: true}
+	}
+	rep.fail(err, r.ejectAfter, r.probation, r.clock.Now())
+	return attemptOutcome[T]{rep: rep, serr: &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}}
 }
 
 // withReplica runs one logical shard request against shard sid's replica
@@ -898,62 +1066,132 @@ func (r *Router) tryReplica(rep *replica, call func(rep *replica) error) (serr *
 // on a replica-level failure fail over to the next untried replica. The
 // request fails only when every replica failed (one ShardError listing
 // each attempt) or a replica produced a terminal error.
-func (r *Router) withReplica(sid int, call func(rep *replica) error) (*replica, *ShardError) {
+//
+// When the router hedges (hedgeDelay > 0 and the group has siblings), an
+// attempt that has not answered within hedgeDelay gets a second attempt
+// launched at another replica — picked by the same probe/p2c/desperation
+// policy — and the first answer wins; the loser's context is canceled on
+// return and its outcome discarded as health-neutral. At most one hedge
+// fires per logical request (a hedge of a hedge just multiplies load
+// when the cluster is slow), and failover keeps working underneath: a
+// replica-level failure with no attempt still in flight launches the
+// next untried replica immediately, hedged or not.
+//
+// A package-level generic (methods cannot have type parameters): each
+// attempt decodes into its own *T, so a canceled loser can never tear
+// the winner's decoded response.
+func withReplica[T any](r *Router, sid int, call func(ctx context.Context, rep *replica) (*T, error)) (*T, *replica, *ShardError) {
 	c := r.shards[sid]
 	tried := make([]bool, len(c.reps))
-	var attempts []string
-	for try := 0; try < len(c.reps); try++ {
-		rep := c.pick(tried)
-		if rep == nil {
-			break
+	// Buffered to the attempt cap: a loser finishing after return must
+	// never block on a channel nobody reads.
+	outcomes := make(chan attemptOutcome[T], len(c.reps))
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
 		}
-		if try > 0 {
-			r.failovers.Add(1)
+	}()
+	outstanding := 0
+	launch := func() bool {
+		rep := c.pick(tried, r.clock.Now().UnixNano())
+		if rep == nil {
+			return false
 		}
 		tried[rep.id] = true
-		serr, terminal := r.tryReplica(rep, call)
-		if serr == nil {
-			return rep, nil
-		}
-		if terminal {
-			return nil, serr
-		}
-		attempts = append(attempts, fmt.Sprintf("replica %d (%s): %v", rep.id, rep.addr, serr.Err))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		outstanding++
+		go func() { outcomes <- runAttempt(r, ctx, rep, call) }()
+		return true
 	}
-	return nil, &ShardError{
+	// The hedge timer is registered before the first attempt launches, so
+	// once a backend has observably received a request the timer already
+	// exists — what lets a FakeClock test Advance past the delay without
+	// racing the registration.
+	var hedgeC <-chan time.Time
+	if r.hedgeDelay > 0 && len(c.reps) > 1 {
+		t := r.clock.NewTimer(r.hedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C()
+	}
+	launch()
+	var attempts []string
+	for outstanding > 0 {
+		select {
+		case o := <-outcomes:
+			outstanding--
+			if o.canceled {
+				continue
+			}
+			if o.serr == nil {
+				return o.out, o.rep, nil
+			}
+			if o.terminal {
+				return nil, nil, o.serr
+			}
+			attempts = append(attempts, fmt.Sprintf("replica %d (%s): %v", o.rep.id, o.rep.addr, o.serr.Err))
+			if outstanding == 0 && launch() {
+				r.failovers.Add(1)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch() {
+				r.hedges.Add(1)
+			}
+		}
+	}
+	return nil, nil, &ShardError{
 		Shard: sid, Replica: -1, Addr: c.addrList(),
 		Err: fmt.Errorf("all %d replicas failed: %s", len(c.reps), strings.Join(attempts, "; ")),
 	}
 }
 
-// getJSON GETs path on one replica of shard sid (with failover) and
-// decodes the response body into out, returning the replica that
-// answered.
-func (r *Router) getJSON(sid int, path string, out any) (*replica, *ShardError) {
-	return r.withReplica(sid, func(rep *replica) error {
-		resp, err := r.client.Get(rep.addr + path)
+// getJSON GETs path on one replica of shard sid (with failover and
+// hedging) and decodes the response body into a fresh *T per attempt,
+// returning the replica that answered.
+func getJSON[T any](r *Router, sid int, path string) (*T, *replica, *ShardError) {
+	return withReplica(r, sid, func(ctx context.Context, rep *replica) (*T, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+path, nil)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return nil, err
 		}
 		defer resp.Body.Close()
-		return decodeReplicaResponse(resp, out)
+		out := new(T)
+		if err := decodeReplicaResponse(resp, out); err != nil {
+			return nil, err
+		}
+		return out, nil
 	})
 }
 
 // postJSON POSTs a JSON body to path on one replica of shard sid (with
-// failover), returning the replica that answered.
-func (r *Router) postJSON(sid int, path string, body, out any) (*replica, *ShardError) {
+// failover and hedging), returning the replica that answered.
+func postJSON[T any](r *Router, sid int, path string, body any) (*T, *replica, *ShardError) {
 	b, err := json.Marshal(body)
 	if err != nil {
-		return nil, &ShardError{Shard: sid, Replica: -1, Addr: r.shards[sid].addrList(), Err: err}
+		return nil, nil, &ShardError{Shard: sid, Replica: -1, Addr: r.shards[sid].addrList(), Err: err}
 	}
-	return r.withReplica(sid, func(rep *replica) error {
-		resp, err := r.client.Post(rep.addr+path, "application/json", bytes.NewReader(b))
+	return withReplica(r, sid, func(ctx context.Context, rep *replica) (*T, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.addr+path, bytes.NewReader(b))
 		if err != nil {
-			return err
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			return nil, err
 		}
 		defer resp.Body.Close()
-		return decodeReplicaResponse(resp, out)
+		out := new(T)
+		if err := decodeReplicaResponse(resp, out); err != nil {
+			return nil, err
+		}
+		return out, nil
 	})
 }
 
@@ -993,18 +1231,30 @@ func (r *Router) checkDirected(rep *replica, directed bool) *ShardError {
 	return r.terminalErr(rep, fmt.Errorf("shard serves directed=%v but the manifest says directed=%v — mismatched index files?", directed, r.directed))
 }
 
+// distWire is the shard /dist response as the router reads it.
+type distWire struct {
+	Reachable  bool    `json:"reachable"`
+	Dist       float64 `json:"dist"`
+	Hub        int     `json:"hub"`
+	Generation uint64  `json:"generation"`
+	Epoch      uint64  `json:"epoch"`
+	Ident      uint64  `json:"ident"`
+	Directed   bool    `json:"directed"`
+}
+
+// batchWire is the shard /batch response as the router reads it.
+type batchWire struct {
+	Dists      []float64 `json:"dists"`
+	Generation uint64    `json:"generation"`
+	Epoch      uint64    `json:"epoch"`
+	Ident      uint64    `json:"ident"`
+	Directed   bool      `json:"directed"`
+}
+
 // fetchDist forwards a same-shard query whole; the shard answers from its
 // local runs and cache, witness hub included.
 func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, bool, error) {
-	var resp struct {
-		Reachable  bool    `json:"reachable"`
-		Dist       float64 `json:"dist"`
-		Hub        int     `json:"hub"`
-		Generation uint64  `json:"generation"`
-		Epoch      uint64  `json:"epoch"`
-		Directed   bool    `json:"directed"`
-	}
-	rep, serr := r.getJSON(sid, fmt.Sprintf("/dist?u=%d&v=%d", u, v), &resp)
+	resp, rep, serr := getJSON[distWire](r, sid, fmt.Sprintf("/dist?u=%d&v=%d", u, v))
 	if serr != nil {
 		return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
 	}
@@ -1015,7 +1265,7 @@ func (r *Router) fetchDist(sid, u, v int, obs map[repRef]genObs) (float64, int, 
 		return 0, 0, false, &ClusterError{Failed: []*ShardError{serr}}
 	}
 	rep.lastGen.Store(resp.Generation)
-	obs[repRef{sid, rep.id}] = genObs{epoch: resp.Epoch, gen: resp.Generation}
+	obs[repRef{sid, rep.id}] = genObs{epoch: resp.Epoch, gen: resp.Generation, hash: resp.Ident}
 	if !resp.Reachable {
 		return Infinity, 0, false, nil
 	}
@@ -1029,13 +1279,7 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 	for i, p := range pairs {
 		body[i] = [2]int{p.U, p.V}
 	}
-	var resp struct {
-		Dists      []float64 `json:"dists"`
-		Generation uint64    `json:"generation"`
-		Epoch      uint64    `json:"epoch"`
-		Directed   bool      `json:"directed"`
-	}
-	rep, serr := r.postJSON(sid, "/batch", body, &resp)
+	resp, rep, serr := postJSON[batchWire](r, sid, "/batch", body)
 	if serr != nil {
 		return nil, nil, genObs{}, serr
 	}
@@ -1054,7 +1298,7 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 		}
 	}
 	rep.lastGen.Store(resp.Generation)
-	return resp.Dists, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	return resp.Dists, rep, genObs{epoch: resp.Epoch, gen: resp.Generation, hash: resp.Ident}, nil
 }
 
 // fetchRows fetches and validates packed label rows from shard sid —
@@ -1062,8 +1306,7 @@ func (r *Router) fetchBatch(sid int, pairs []QueryPair) ([]float64, *replica, ge
 // returning the replica that served them (witness-rank resolution must
 // go back to that exact process; see crossQueryHub).
 func (r *Router) fetchRows(sid int, fwd, bwd []int) (rowsF, rowsB map[int][]uint64, rep *replica, o genObs, serr *ShardError) {
-	var resp shardQueryResponse
-	rep, serr = r.postJSON(sid, "/shardquery", shardQueryRequest{Vertices: fwd, Backward: bwd}, &resp)
+	resp, rep, serr := postJSON[shardQueryResponse](r, sid, "/shardquery", shardQueryRequest{Vertices: fwd, Backward: bwd})
 	if serr != nil {
 		return nil, nil, nil, genObs{}, serr
 	}
@@ -1101,20 +1344,117 @@ func (r *Router) fetchRows(sid int, fwd, bwd []int) (rowsF, rowsB map[int][]uint
 		return nil, nil, nil, genObs{}, serr
 	}
 	rep.lastGen.Store(resp.Generation)
-	return rowsF, rowsB, rep, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	return rowsF, rowsB, rep, genObs{epoch: resp.Epoch, gen: resp.Generation, hash: resp.Ident}, nil
+}
+
+// resolveReply is one waiter's share of a batched resolution.
+type resolveReply struct {
+	orig int
+	obs  genObs
+	serr *ShardError
+}
+
+// resolveWaiter is one queued rank resolution: the rank and the channel
+// its answer is delivered on (buffered — delivery never blocks the
+// drainer).
+type resolveWaiter struct {
+	rank int
+	ch   chan resolveReply
+}
+
+// resolveBatcher conflates concurrent witness-rank resolutions pinned to
+// one replica: while one batched /shardquery call is in flight, newly
+// arriving ranks queue up and ride the next call together. Under a
+// thundering herd of cross-shard QueryHub misses this folds what used to
+// be one round trip per query into one round trip per drain cycle.
+type resolveBatcher struct {
+	mu    sync.Mutex
+	queue []resolveWaiter
+	busy  bool // a drain loop is running
 }
 
 // resolveRankOn translates a rank-space hub to its original vertex id on
 // one specific replica — the one whose snapshot produced the rank. No
-// load balancing and no failover: a sibling replica is a different
-// process whose identity can never match the row's, and a rebuilt index
-// may permute ranks differently. The replica's snapshot identity is
-// returned so the caller can verify the resolution used the same
-// snapshot the rank came from.
+// load balancing, no failover, and no hedging: a sibling replica is a
+// different process whose identity can never match the row's, and a
+// rebuilt index may permute ranks differently. The replica's snapshot
+// identity is returned so the caller can verify the resolution used the
+// same snapshot the rank came from.
+//
+// Resolutions for one replica are batched (see resolveBatcher): the
+// calling goroutine queues its rank and either starts the drain loop or
+// waits for the running one to carry it.
 func (r *Router) resolveRankOn(rep *replica, rank int) (int, genObs, *ShardError) {
-	b, err := json.Marshal(shardQueryRequest{Resolve: []int{rank}})
+	r.resolveMu.Lock()
+	if r.resolvers == nil {
+		r.resolvers = make(map[*replica]*resolveBatcher)
+	}
+	rb := r.resolvers[rep]
+	if rb == nil {
+		rb = &resolveBatcher{}
+		r.resolvers[rep] = rb
+	}
+	r.resolveMu.Unlock()
+	w := resolveWaiter{rank: rank, ch: make(chan resolveReply, 1)}
+	rb.mu.Lock()
+	rb.queue = append(rb.queue, w)
+	if !rb.busy {
+		rb.busy = true
+		rb.mu.Unlock()
+		go r.drainResolves(rep, rb)
+	} else {
+		rb.mu.Unlock()
+	}
+	reply := <-w.ch
+	return reply.orig, reply.obs, reply.serr
+}
+
+// drainResolves services one replica's resolution queue until it is
+// empty: grab everything queued, resolve the deduplicated rank set in
+// one pinned /shardquery call, deliver each waiter its answer, repeat.
+func (r *Router) drainResolves(rep *replica, rb *resolveBatcher) {
+	for {
+		rb.mu.Lock()
+		waiters := rb.queue
+		rb.queue = nil
+		if len(waiters) == 0 {
+			rb.busy = false
+			rb.mu.Unlock()
+			return
+		}
+		rb.mu.Unlock()
+		seen := make(map[int]struct{}, len(waiters))
+		ranks := make([]int, 0, len(waiters))
+		for _, w := range waiters {
+			if _, dup := seen[w.rank]; !dup {
+				seen[w.rank] = struct{}{}
+				ranks = append(ranks, w.rank)
+			}
+		}
+		sort.Ints(ranks)
+		r.resolveBatches.Add(1)
+		r.resolveRanks.Add(int64(len(waiters)))
+		resp, serr := r.resolveOn(rep, ranks)
+		for _, w := range waiters {
+			if serr != nil {
+				w.ch <- resolveReply{serr: serr}
+				continue
+			}
+			orig, found := resp.Resolved[strconv.Itoa(w.rank)]
+			if !found {
+				w.ch <- resolveReply{serr: r.terminalErr(rep, fmt.Errorf("rank %d missing from resolution response", w.rank))}
+				continue
+			}
+			w.ch <- resolveReply{orig: orig, obs: genObs{epoch: resp.Epoch, gen: resp.Generation, hash: resp.Ident}}
+		}
+	}
+}
+
+// resolveOn runs one pinned, batched rank resolution against rep.
+func (r *Router) resolveOn(rep *replica, ranks []int) (*shardQueryResponse, *ShardError) {
+	b, err := json.Marshal(shardQueryRequest{Resolve: ranks})
 	if err != nil {
-		return 0, genObs{}, &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}
+		return nil, &ShardError{Shard: rep.shard, Replica: rep.id, Addr: rep.addr, Err: err}
 	}
 	var resp shardQueryResponse
 	serr, _ := r.tryReplica(rep, func(rep *replica) error {
@@ -1126,14 +1466,10 @@ func (r *Router) resolveRankOn(rep *replica, rank int) (int, genObs, *ShardError
 		return decodeReplicaResponse(hresp, &resp)
 	})
 	if serr != nil {
-		return 0, genObs{}, serr
-	}
-	orig, found := resp.Resolved[strconv.Itoa(rank)]
-	if !found {
-		return 0, genObs{}, r.terminalErr(rep, fmt.Errorf("rank %d missing from resolution response", rank))
+		return nil, serr
 	}
 	rep.lastGen.Store(resp.Generation)
-	return orig, genObs{epoch: resp.Epoch, gen: resp.Generation}, nil
+	return &resp, nil
 }
 
 // crossQueryHub answers a cross-shard query: fetch the two rows
@@ -1292,6 +1628,7 @@ func (r *Router) probeReplica(rep *replica) ReplicaHealth {
 		OK         bool   `json:"ok"`
 		Generation uint64 `json:"generation"`
 		Epoch      uint64 `json:"epoch"`
+		Ident      uint64 `json:"ident"`
 	}
 	serr, _ := r.tryReplica(rep, func(rep *replica) error {
 		hresp, err := r.client.Get(rep.addr + "/healthz")
@@ -1309,7 +1646,7 @@ func (r *Router) probeReplica(rep *replica) ReplicaHealth {
 	h.OK = resp.OK
 	h.Generation = resp.Generation
 	rep.lastGen.Store(resp.Generation)
-	r.noteGenerations(map[repRef]genObs{{rep.shard, rep.id}: {epoch: resp.Epoch, gen: resp.Generation}})
+	r.noteGenerations(map[repRef]genObs{{rep.shard, rep.id}: {epoch: resp.Epoch, gen: resp.Generation, hash: resp.Ident}})
 	return h
 }
 
@@ -1341,27 +1678,37 @@ type RouterShardStats struct {
 
 // RouterStats is the router's /stats response.
 type RouterStats struct {
-	Vertices      int                `json:"vertices"`
-	Directed      bool               `json:"directed"`
-	Shards        []RouterShardStats `json:"shards"`
-	Queries       int64              `json:"queries_total"`
-	CrossJoins    int64              `json:"cross_joins_total"`
-	Failovers     int64              `json:"failovers_total"`
-	CacheResets   int64              `json:"cache_resets_total"`
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Cache         *CacheStats        `json:"cache,omitempty"`
+	Vertices       int                `json:"vertices"`
+	Directed       bool               `json:"directed"`
+	Shards         []RouterShardStats `json:"shards"`
+	Queries        int64              `json:"queries_total"`
+	CrossJoins     int64              `json:"cross_joins_total"`
+	Failovers      int64              `json:"failovers_total"`
+	CacheResets    int64              `json:"cache_resets_total"`
+	Hedges         int64              `json:"hedges_total"`
+	Collapsed      int64              `json:"collapsed_total"`
+	Shed           int64              `json:"shed_total"`
+	ResolveBatches int64              `json:"resolve_batches_total"`
+	ResolveRanks   int64              `json:"resolve_ranks_total"`
+	UptimeSeconds  float64            `json:"uptime_seconds"`
+	Cache          *CacheStats        `json:"cache,omitempty"`
 }
 
 // Stats reports the router's counters and its view of the cluster.
 func (r *Router) Stats() RouterStats {
 	out := RouterStats{
-		Vertices:      r.n,
-		Directed:      r.directed,
-		Queries:       r.queries.Load(),
-		CrossJoins:    r.crossJoins.Load(),
-		Failovers:     r.failovers.Load(),
-		CacheResets:   r.cacheResets.Load(),
-		UptimeSeconds: time.Since(r.start).Seconds(),
+		Vertices:       r.n,
+		Directed:       r.directed,
+		Queries:        r.queries.Load(),
+		CrossJoins:     r.crossJoins.Load(),
+		Failovers:      r.failovers.Load(),
+		CacheResets:    r.cacheResets.Load(),
+		Hedges:         r.hedges.Load(),
+		Collapsed:      r.collapsed.Load(),
+		Shed:           r.shed.Load(),
+		ResolveBatches: r.resolveBatches.Load(),
+		ResolveRanks:   r.resolveRanks.Load(),
+		UptimeSeconds:  r.clock.Now().Sub(r.start).Seconds(),
 	}
 	for _, c := range r.shards {
 		ss := RouterShardStats{ID: c.id, Addr: c.reps[0].addr}
@@ -1404,16 +1751,55 @@ func (r *Router) Stats() RouterStats {
 // single-process Server (GET /dist, POST /batch, GET /stats, GET
 // /healthz, GET /metrics) plus POST /reload?shard=I[&replica=J][&path=P],
 // which proxies a hot reload to one shard replica. Errors are JSON
-// bodies; shard failures are 502s listing the failed shards.
+// bodies; shard failures are 502s listing the failed shards; shed
+// requests are 429s with a retry-after body (see shape).
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/dist", r.metrics.wrap("/dist", r.handleDist))
-	mux.HandleFunc("/batch", r.metrics.wrap("/batch", r.handleBatch))
+	mux.HandleFunc("/dist", r.metrics.wrap("/dist", r.shape(r.handleDist)))
+	mux.HandleFunc("/batch", r.metrics.wrap("/batch", r.shape(r.handleBatch)))
 	mux.HandleFunc("/stats", r.metrics.wrap("/stats", r.handleStats))
 	mux.HandleFunc("/healthz", r.metrics.wrap("/healthz", r.handleHealthz))
 	mux.HandleFunc("/reload", r.metrics.wrap("/reload", r.handleReload))
 	mux.HandleFunc("/metrics", r.handleMetrics)
 	return mux
+}
+
+// shape is the admission-control middleware on the query endpoints
+// (/dist and /batch only — health, stats, and operator endpoints must
+// keep answering under overload, that's what they are for). Two gates,
+// cheapest first: a global concurrency limit, then the per-client token
+// bucket. Both shed with a 429 whose JSON body carries the machine-
+// usable reason and retry-after (shedBody); shed requests never touch
+// the routing layer.
+func (r *Router) shape(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r.maxInFlight > 0 {
+			if n := r.shapeInFlight.Add(1); n > r.maxInFlight {
+				r.shapeInFlight.Add(-1)
+				r.shed.Add(1)
+				writeShed(w, shedBody{
+					Error:             fmt.Sprintf("router over capacity (%d requests in flight)", r.maxInFlight),
+					Reason:            shedReasonCapacity,
+					RetryAfterSeconds: clampRetryAfter(shedCapacityRetry),
+				})
+				return
+			}
+			defer r.shapeInFlight.Add(-1)
+		}
+		if r.quota != nil {
+			key := quotaKey(req.Header.Get(QuotaKeyHeader), req.RemoteAddr)
+			if ok, retry := r.quota.take(key); !ok {
+				r.shed.Add(1)
+				writeShed(w, shedBody{
+					Error:             "client over quota",
+					Reason:            shedReasonQuota,
+					RetryAfterSeconds: clampRetryAfter(retry),
+				})
+				return
+			}
+		}
+		h(w, req)
+	}
 }
 
 // routeError maps a routing failure to its HTTP response.
@@ -1548,7 +1934,7 @@ func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 	resp, err := r.client.Post(rep.addr+path, "application/json", strings.NewReader("{}"))
 	if err != nil {
 		// Transport failure: the replica really is unreachable.
-		rep.fail(err, r.ejectAfter, r.probation)
+		rep.fail(err, r.ejectAfter, r.probation, r.clock.Now())
 		routeError(w, &ClusterError{Failed: []*ShardError{{Shard: sid, Replica: rid, Addr: rep.addr, Err: err}}})
 		return
 	}
@@ -1573,11 +1959,14 @@ func (r *Router) handleReload(w http.ResponseWriter, req *http.Request) {
 	rep.succeed()
 	// A successful reload bumped the replica's generation; fold it in now
 	// so the next query doesn't serve one answer from the retired cache.
+	// The ident says whether the reloaded content actually changed —
+	// reloading the same file keeps the cache (see noteGenerations).
 	g, gok := out["generation"].(float64)
 	e, eok := out["epoch"].(float64)
+	id, _ := out["ident"].(float64)
 	if gok && eok {
 		rep.lastGen.Store(uint64(g))
-		r.noteGenerations(map[repRef]genObs{{sid, rid}: {epoch: uint64(e), gen: uint64(g)}})
+		r.noteGenerations(map[repRef]genObs{{sid, rid}: {epoch: uint64(e), gen: uint64(g), hash: uint64(id)}})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -1598,7 +1987,12 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	promCounter(w, "chl_router_queries_total", "Queries routed.", st.Queries)
 	promCounter(w, "chl_router_cross_joins_total", "Cross-shard hub joins performed at the router.", st.CrossJoins)
 	promCounter(w, "chl_router_failovers_total", "Requests retried on another replica after a replica failure.", st.Failovers)
-	promCounter(w, "chl_router_cache_resets_total", "Answer-cache resets after observed shard reloads.", st.CacheResets)
+	promCounter(w, "chl_router_cache_resets_total", "Answer-cache resets after observed shard content changes.", st.CacheResets)
+	promCounter(w, "chl_router_hedges_total", "Hedge attempts launched at a second replica after the hedge delay.", st.Hedges)
+	promCounter(w, "chl_router_collapsed_total", "Queries collapsed into an identical in-flight query (singleflight).", st.Collapsed)
+	promCounter(w, "chl_router_shed_total", "HTTP requests shed with a 429 (capacity or client quota).", st.Shed)
+	promCounter(w, "chl_router_resolve_batches_total", "Batched witness-rank resolution round trips.", st.ResolveBatches)
+	promCounter(w, "chl_router_resolve_ranks_total", "Witness ranks resolved through the batcher.", st.ResolveRanks)
 	if st.Cache != nil {
 		promGauge(w, "chl_router_cache_entries", "Answers currently cached at the router.", float64(st.Cache.Entries))
 		promGauge(w, "chl_router_cache_capacity", "Router answer cache capacity.", float64(st.Cache.Capacity))

@@ -35,6 +35,7 @@ type Snapshot struct {
 	eng      *BatchEngine
 	path     string
 	gen      uint64
+	ident    uint64 // content hash (FlatIndex.ContentHash), computed at install
 	loadedAt time.Time
 
 	refs      atomic.Int64
@@ -54,6 +55,13 @@ func (sn *Snapshot) Generation() uint64 { return sn.gen }
 // Path returns the file this snapshot was loaded from ("" when the
 // server was built from an in-memory index).
 func (sn *Snapshot) Path() string { return sn.path }
+
+// Ident returns the snapshot's content identity (FlatIndex.ContentHash):
+// equal across processes and restarts exactly when the served bytes are
+// equal. Shard servers stamp it on every router-facing response; the
+// router retires its answer cache only when a shard's ident actually
+// changes, so coordinated same-content restarts keep the cache warm.
+func (sn *Snapshot) Ident() uint64 { return sn.ident }
 
 // Release returns a reference taken by Server.Acquire. The last release
 // of a retired snapshot closes its file mapping.
@@ -261,6 +269,7 @@ func (s *Server) install(fx *FlatIndex, path string) *Snapshot {
 		eng:      eng,
 		path:     path,
 		gen:      s.gen.Add(1),
+		ident:    fx.ContentHash(),
 		loadedAt: time.Now(),
 	}
 	sn.refs.Store(1) // the server's own reference
@@ -486,6 +495,7 @@ func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
 		// same-shard path too; plain servers keep the documented public
 		// schema.
 		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+		resp["ident"] = sn.ident
 		resp["directed"] = sn.fx.Directed()
 	}
 	if ok {
@@ -539,6 +549,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"dists": dists}
 	if s.part != nil {
 		resp["generation"], resp["epoch"] = sn.gen, s.epoch
+		resp["ident"] = sn.ident
 		resp["directed"] = sn.fx.Directed()
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -625,6 +636,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.part != nil {
 		resp["epoch"] = s.epoch
+		resp["ident"] = sn.ident
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -635,6 +647,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"ok": true, "generation": sn.gen}
 	if s.part != nil {
 		resp["epoch"] = s.epoch
+		resp["ident"] = sn.ident
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -663,6 +676,7 @@ type shardQueryRequest struct {
 type shardQueryResponse struct {
 	Generation uint64            `json:"generation"`
 	Epoch      uint64            `json:"epoch"`
+	Ident      uint64            `json:"ident"`
 	Vertices   int               `json:"n"`
 	Directed   bool              `json:"directed,omitempty"`
 	Rows       map[string]string `json:"rows,omitempty"`
@@ -700,7 +714,7 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 	sn := s.Acquire()
 	defer sn.Release()
 	n := sn.fx.NumVertices()
-	resp := shardQueryResponse{Generation: sn.gen, Epoch: s.epoch, Vertices: n, Directed: sn.fx.Directed()}
+	resp := shardQueryResponse{Generation: sn.gen, Epoch: s.epoch, Ident: sn.ident, Vertices: n, Directed: sn.fx.Directed()}
 	if len(req.Vertices) > 0 {
 		resp.Rows = make(map[string]string, len(req.Vertices))
 	}
