@@ -32,6 +32,15 @@ type Answer struct {
 // Cache (Server builds one per Snapshot), which is what makes stale
 // answers across a hot swap structurally impossible rather than merely
 // unlikely.
+//
+// The keyspace is pair answers, and nothing else. The rich workloads
+// ride this discipline rather than bending it: /paths fills the cache
+// with its segments (each segment IS a pair query), /knn deposits its
+// results as the (source, neighbor) pair answers they are, and /matrix
+// deliberately stays out. No workload ever mints a key from a non-pair
+// parameter like k — a /knn for (u=3, k=5) and a /dist for (3,5) can
+// therefore never collide (the singleflight layer keeps them apart the
+// same way; see flightKind).
 type Cache struct {
 	shards   []cacheShard
 	mask     uint64

@@ -4,8 +4,10 @@
 // in-process, gates on every kernel answering bit-identically to the
 // in-memory index, micro-benchmarks both kernels over the same query
 // pairs, measures end-to-end /dist and /batch latency through the HTTP
-// serving tier for both storage formats, and writes the whole report as
-// JSON.
+// serving tier for both storage formats, times the rich workloads
+// (/paths, /knn, /matrix) with their own agreement gate (path walks
+// must re-sum to the /dist answer bit for bit), and writes the whole
+// report as JSON.
 //
 // Usage:
 //
@@ -52,19 +54,32 @@ type HTTPStats struct {
 	BatchMs    float64 `json:"batch_ms"` // one POST /batch with all pairs
 }
 
+// WorkloadStats is the rich-workload serving latency for one storage
+// format, with its own agreement gate: every /paths walk must re-sum to
+// the /dist answer bit for bit, every /knn neighbor and /matrix cell
+// must match the pairwise kernel exactly.
+type WorkloadStats struct {
+	PathsMeanUs   float64 `json:"paths_mean_us"`
+	KNNMeanUs     float64 `json:"knn_mean_us"`
+	MatrixRowUs   float64 `json:"matrix_row_us"` // per streamed NDJSON row
+	Disagreements int     `json:"disagreements"`
+	Agree         bool    `json:"agree"`
+}
+
 // FixtureReport is everything measured on one agreement fixture.
 type FixtureReport struct {
-	Name            string                 `json:"name"`
-	Vertices        int                    `json:"vertices"`
-	Labels          int64                  `json:"labels"`
-	Directed        bool                   `json:"directed"`
-	BytesFixed      int                    `json:"bytes_fixed"`
-	BytesCompressed int                    `json:"bytes_compressed"`
-	SavingsPct      float64                `json:"savings_pct"`
-	Kernels         map[string]KernelStats `json:"kernels"`
-	HTTP            map[string]HTTPStats   `json:"http"`
-	Disagreements   int                    `json:"disagreements"`
-	Agree           bool                   `json:"agree"`
+	Name            string                   `json:"name"`
+	Vertices        int                      `json:"vertices"`
+	Labels          int64                    `json:"labels"`
+	Directed        bool                     `json:"directed"`
+	BytesFixed      int                      `json:"bytes_fixed"`
+	BytesCompressed int                      `json:"bytes_compressed"`
+	SavingsPct      float64                  `json:"savings_pct"`
+	Kernels         map[string]KernelStats   `json:"kernels"`
+	HTTP            map[string]HTTPStats     `json:"http"`
+	Workloads       map[string]WorkloadStats `json:"workloads"`
+	Disagreements   int                      `json:"disagreements"`
+	Agree           bool                     `json:"agree"`
 }
 
 // RouterSmoke is the traffic-shaping gate: a small replicated cluster
@@ -173,12 +188,13 @@ func benchFixture(name string, g *chl.Graph, queries, httpQ int, seed int64) Fix
 		fatal(err)
 	}
 	fr := FixtureReport{
-		Name:     name,
-		Vertices: fx.NumVertices(),
-		Labels:   fx.TotalLabels(),
-		Directed: fx.Directed(),
-		Kernels:  map[string]KernelStats{},
-		HTTP:     map[string]HTTPStats{},
+		Name:      name,
+		Vertices:  fx.NumVertices(),
+		Labels:    fx.TotalLabels(),
+		Directed:  fx.Directed(),
+		Kernels:   map[string]KernelStats{},
+		HTTP:      map[string]HTTPStats{},
+		Workloads: map[string]WorkloadStats{},
 	}
 
 	// On-disk footprint of both formats for the same labels.
@@ -220,10 +236,145 @@ func benchFixture(name string, g *chl.Graph, queries, httpQ int, seed int64) Fix
 	fr.HTTP["fixed"] = timeHTTP(fx, us, vs, httpQ)
 	fr.HTTP["compressed"] = timeHTTP(cfx, us, vs, httpQ)
 
-	fmt.Printf("%-10s n=%-6d labels=%-8d saved=%5.1f%%  packed=%6.0f ns/q  compressed=%6.0f ns/q  agree=%v\n",
+	fr.Workloads["fixed"] = timeWorkloads(fx, us, vs, httpQ/4)
+	fr.Workloads["compressed"] = timeWorkloads(cfx, us, vs, httpQ/4)
+	if !fr.Workloads["fixed"].Agree || !fr.Workloads["compressed"].Agree {
+		fr.Agree = false
+	}
+
+	fmt.Printf("%-10s n=%-6d labels=%-8d saved=%5.1f%%  packed=%6.0f ns/q  compressed=%6.0f ns/q  paths=%5.0f µs  knn=%5.0f µs  row=%5.0f µs  agree=%v\n",
 		name, fr.Vertices, fr.Labels, fr.SavingsPct,
-		fr.Kernels["packed"].NsPerQuery, fr.Kernels["compressed"].NsPerQuery, fr.Agree)
+		fr.Kernels["packed"].NsPerQuery, fr.Kernels["compressed"].NsPerQuery,
+		fr.Workloads["fixed"].PathsMeanUs, fr.Workloads["fixed"].KNNMeanUs,
+		fr.Workloads["fixed"].MatrixRowUs, fr.Agree)
 	return fr
+}
+
+// timeWorkloads measures /paths, /knn, and /matrix over the real HTTP
+// tier and gates on agreement: every path walk must re-sum through the
+// pairwise kernel to exactly the distance it claims (which is the /dist
+// answer, bit for bit — same kernel, same store), every /knn neighbor
+// and /matrix cell must equal the pairwise join for its pair.
+func timeWorkloads(fx *chl.FlatIndex, us, vs []int, wq int) WorkloadStats {
+	srv := httptest.NewServer(chl.NewServerFromFlat(fx, 0).Handler())
+	defer srv.Close()
+	client := srv.Client()
+	if wq < 16 {
+		wq = 16
+	}
+	var ws WorkloadStats
+
+	start := time.Now()
+	for i := 0; i < wq; i++ {
+		u, v := us[i%len(us)], vs[i%len(vs)]
+		resp, err := client.Get(fmt.Sprintf("%s/paths?u=%d&v=%d", srv.URL, u, v))
+		if err != nil {
+			fatal(err)
+		}
+		var body struct {
+			Dist      float64 `json:"dist"`
+			Path      []int   `json:"path"`
+			Reachable bool    `json:"reachable"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+		want := fx.Query(u, v)
+		if !body.Reachable {
+			if want != chl.Infinity {
+				ws.Disagreements++
+			}
+			continue
+		}
+		var sum float64
+		for j := 0; j+1 < len(body.Path); j++ {
+			sum += fx.Query(body.Path[j], body.Path[j+1])
+		}
+		if body.Dist != want || sum != want {
+			ws.Disagreements++
+		}
+	}
+	ws.PathsMeanUs = float64(time.Since(start).Microseconds()) / float64(wq)
+
+	const k = 8
+	start = time.Now()
+	for i := 0; i < wq; i++ {
+		u := us[i%len(us)]
+		resp, err := client.Get(fmt.Sprintf("%s/knn?u=%d&k=%d", srv.URL, u, k))
+		if err != nil {
+			fatal(err)
+		}
+		var body struct {
+			Neighbors []struct {
+				V    int     `json:"v"`
+				Dist float64 `json:"dist"`
+			} `json:"neighbors"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+		for _, nb := range body.Neighbors {
+			if fx.Query(u, nb.V) != nb.Dist {
+				ws.Disagreements++
+			}
+		}
+	}
+	ws.KNNMeanUs = float64(time.Since(start).Microseconds()) / float64(wq)
+
+	side := 32
+	if side > fx.NumVertices() {
+		side = fx.NumVertices()
+	}
+	sources := make([]int, side)
+	targets := make([]int, side)
+	for i := 0; i < side; i++ {
+		sources[i], targets[i] = us[i%len(us)], vs[i%len(vs)]
+	}
+	mbody, err := json.Marshal(map[string]any{"sources": sources, "targets": targets})
+	if err != nil {
+		fatal(err)
+	}
+	start = time.Now()
+	resp, err := client.Post(srv.URL+"/matrix", "application/json", bytes.NewReader(mbody))
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("/matrix status %d", resp.StatusCode))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var head struct {
+		Targets []int `json:"targets"`
+		Rows    int   `json:"rows"`
+	}
+	if err := dec.Decode(&head); err != nil {
+		fatal(err)
+	}
+	for r := 0; r < head.Rows; r++ {
+		var row struct {
+			U     int       `json:"u"`
+			Dists []float64 `json:"dists"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			fatal(err)
+		}
+		for j, d := range row.Dists {
+			want := fx.Query(row.U, head.Targets[j])
+			if d == -1 {
+				d = chl.Infinity
+			}
+			if d != want {
+				ws.Disagreements++
+			}
+		}
+	}
+	resp.Body.Close()
+	ws.MatrixRowUs = float64(time.Since(start).Microseconds()) / float64(side)
+
+	ws.Agree = ws.Disagreements == 0
+	return ws
 }
 
 // timeKernel measures fx.Query over the pair set. The merge path is

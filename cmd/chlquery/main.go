@@ -48,6 +48,9 @@
 //
 //	GET  /dist?u=17&v=3942      → {"u":17,"v":3942,"reachable":true,"dist":42,"hub":106}
 //	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
+//	GET  /paths?u=17&v=3942     → {"dist":42,"path":[17,106,...,3942]} actual vertex walk via witness hubs
+//	GET  /knn?u=17&k=8          → {"neighbors":[{"v":...,"dist":...,"hub":...},...]} k nearest by label scan
+//	POST /matrix {"sources":[...],"targets":[...]} → NDJSON stream, one distance row per source
 //	GET  /stats                 → index shape, generation, cache hit/miss counters
 //	POST /reload?path=new.flat  → hot-swap to a new flat file (empty path: re-open the current file)
 //	GET  /healthz               → {"ok":true,"generation":N}
@@ -321,7 +324,7 @@ func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault
 	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v directed=%v compressed=%v cache=%d\n",
 		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, st.Directed, st.Compressed, cacheCap)
 	installReload(s)
-	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
+	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }
 
@@ -368,7 +371,7 @@ func runShardServe(addr string, cacheCap int, prefault bool, shardID int, manife
 	fmt.Printf("shard %d/%d: file=%s n=%d labels=%d flat=%.2f MiB mapped=%v directed=%v cache=%d\n",
 		shardID, m.Shards, file, st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, st.Directed, cacheCap)
 	installReload(s)
-	fmt.Printf("serving on %s (router-facing POST /shardquery; GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
+	fmt.Printf("serving on %s (router-facing POST /shardquery, POST /shardscan; GET /dist?u=&v=, POST /batch, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
 }
 

@@ -27,6 +27,9 @@
 //
 //	GET  /dist?u=17&v=3942      → same schema as a single server, bit-identical answers
 //	POST /batch  [[u,v],...]    → {"dists":[...]}   (-1 marks unreachable pairs)
+//	GET  /paths?u=17&v=3942     → witness-hub vertex walk, segments resolved cross-shard
+//	GET  /knn?u=17&k=8          → k nearest targets, merged from per-shard inverted-index scans
+//	POST /matrix {"sources":[...],"targets":[...]} → NDJSON distance rows, streamed per source
 //	GET  /stats                 → per-replica request/error/ejection counters, router cache, generations
 //	GET  /healthz               → per-replica health; 503 only when some shard has no live replica
 //	GET  /metrics               → Prometheus text format, per-endpoint latency histograms
@@ -127,7 +130,7 @@ func main() {
 		}
 		fmt.Printf("  shard %d: %s\n", h.ID, strings.Join(states, ", "))
 	}
-	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=&replica=)\n", *serveAddr)
+	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=&replica=)\n", *serveAddr)
 	log.Fatal(http.ListenAndServe(*serveAddr, r.Handler()))
 }
 

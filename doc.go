@@ -162,6 +162,28 @@
 // step it deterministically. ARCHITECTURE.md ("Traffic shaping") has
 // the design.
 //
+// # Query workloads
+//
+// Three richer workloads run over the same labels, on every storage
+// format and deployment shape, with no new file formats. Path
+// reconstruction (FlatIndex.Path, Server.Path, Router.Path, GET
+// /paths) recursively expands witness hubs into the actual vertex
+// walk; consecutive waypoints are segments whose own Query distances
+// sum to the total exactly, and a bounded query budget guarantees
+// termination even against inconsistent labels. K-nearest neighbors
+// (BatchEngine.KNN, Router.KNN, GET /knn) runs a k-way merge over a
+// label-inverted index derived lazily at load time — never serialized,
+// so the pinned file formats are untouched — returning exactly the
+// (dist, hub) pairs QueryHub would answer. Distance matrices
+// (FlatIndex.MatrixRows, Router.Matrix, POST /matrix) scatter each
+// source run once and probe every target in a single pass, streamed
+// as NDJSON one row at a time so neither end materializes the matrix.
+// On the router, /paths fills the answer cache with its segments,
+// /knn deposits its results as pair answers, and /matrix bypasses the
+// cache; a parity harness pins all three bit-identical to an
+// in-memory Dijkstra oracle across every cell of the deployment
+// matrix. ARCHITECTURE.md ("Query workloads") has the design.
+//
 // # Distributed execution
 //
 // The paper runs on a 64-node MPI cluster. This package simulates that

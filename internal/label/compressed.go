@@ -310,6 +310,44 @@ func JoinCompressed(a, b CRun) (dist float64, hub uint32, ok bool) {
 	return dist, hub, ok
 }
 
+// ProbeCompressed hub-joins one compressed target run against the
+// scattered source run, block by block: the header's (minHub, maxHub)
+// summary resolves non-overlapping blocks without decoding a byte —
+// blocks entirely below the source's hub range are skipped, blocks
+// entirely above it end the scan — and only overlapping blocks are
+// decoded (into a stack buffer) and probed with the RunScatter.Probe
+// loop. Answers are bit-identical to Probe on the decompressed run.
+func (rs RunScatter) ProbeCompressed(r CRun) (dist float64, hub uint32, ok bool) {
+	dist = Infinity
+	if rs.empty {
+		return dist, 0, false
+	}
+	var buf compBlockBuf
+	slot := rs.s.slot
+	for b, nb := 0, len(r.heads)/4; b < nb; b++ {
+		if r.heads[4*b+1] < rs.minHub { // block entirely below the source's hubs
+			continue
+		}
+		if r.heads[4*b] > rs.maxHub { // blocks are hub-ascending: nothing left can match
+			break
+		}
+		cnt := r.decodeBlock(b, &buf)
+		for _, e := range buf[:cnt] {
+			h := uint32(e >> 32)
+			if h > rs.maxHub {
+				break
+			}
+			w := slot[h]
+			if w&^uint64(0xffffffff) == rs.cur {
+				if d := float64(math.Float32frombits(uint32(w))) + entryDist(e); d < dist {
+					dist, hub, ok = d, h, true
+				}
+			}
+		}
+	}
+	return dist, hub, ok
+}
+
 // AppendPackedRun appends the decoded (fixed-width packed) entries of v to
 // dst and returns the extended slice — how a compressed shard server
 // materializes the byte-identical packed rows the /shardquery protocol

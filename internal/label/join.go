@@ -84,6 +84,66 @@ func JoinPackedWith(s *QueryScratch, a, b []uint64) (dist float64, hub uint32, o
 	return dist, hub, ok
 }
 
+// RunScatter is one packed label run scattered into a QueryScratch so
+// that many probes can reuse the single scatter — the kernel behind
+// one-to-many and many-to-many (/matrix) queries, which pay one label
+// scan per source row instead of re-scattering for every target pair.
+// The scatter stays valid until the scratch is used by anything else
+// (another scatter or a hash-join query); one scratch is owned by one
+// goroutine.
+type RunScatter struct {
+	s      *QueryScratch
+	cur    uint64 // version stamp of this scatter, pre-shifted
+	minHub uint32 // hub range of the scattered run (skip bounds for probes)
+	maxHub uint32
+	empty  bool
+}
+
+// ScatterRun scatters run (hub-sorted, as every packed run is) into s.
+func ScatterRun(s *QueryScratch, run []uint64) RunScatter {
+	if len(run) == 0 {
+		return RunScatter{s: s, empty: true}
+	}
+	s.bump()
+	cur := uint64(s.current) << 32
+	slot := s.slot
+	for _, e := range run {
+		slot[e>>32] = cur | e&0xffffffff
+	}
+	return RunScatter{
+		s:      s,
+		cur:    cur,
+		minHub: uint32(run[0] >> 32),
+		maxHub: uint32(run[len(run)-1] >> 32),
+	}
+}
+
+// Probe hub-joins one target run against the scattered source run —
+// the same float64 summation and smallest-hub tie-break as
+// QueryHubWith, so the answer is bit-identical to the pairwise
+// kernels on the same label sets. Entries past the source's maximum
+// hub can never match and end the scan early.
+func (rs RunScatter) Probe(run []uint64) (dist float64, hub uint32, ok bool) {
+	dist = Infinity
+	if rs.empty {
+		return dist, 0, false
+	}
+	maxEntry := uint64(rs.maxHub)<<32 | 0xffffffff
+	slot := rs.s.slot
+	for _, e := range run {
+		if e > maxEntry {
+			break
+		}
+		w := slot[e>>32]
+		if w&^uint64(0xffffffff) == rs.cur {
+			if d := float64(math.Float32frombits(uint32(w))) + entryDist(e); d < dist {
+				dist, hub, ok = d, uint32(e>>32), true
+			}
+		}
+	}
+	return dist, hub, ok
+}
+
 // Slice returns a new heap-backed FlatIndex over the same vertex-id space
 // that keeps only the label runs of vertices for which keep returns true;
 // every other vertex gets an empty run. This is how a shard-index writer

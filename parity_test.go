@@ -1,0 +1,354 @@
+package chl_test
+
+// The cross-stack parity harness: every query workload (/dist, /paths,
+// /knn, /matrix), over every storage format (fixed-width packed, CHFX
+// v4 compressed), both directednesses, on every serving topology
+// (single process, sharded 3×1, replicated 2×2), answered over HTTP and
+// checked bit-for-bit against a naive in-memory Dijkstra oracle. Labels
+// carry float32-exact integer weights and every tier sums legs in
+// float64, so the assertions are ==, not approximately-equal: one bit
+// of drift anywhere in the stack fails the matrix.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	chl "repro"
+	"repro/internal/sssp"
+)
+
+// parityOracle answers by single-source Dijkstra over the original
+// graph, memoized per source.
+type parityOracle struct {
+	g    *chl.Graph
+	rows map[int][]float64
+}
+
+func newParityOracle(g *chl.Graph) *parityOracle {
+	return &parityOracle{g: g, rows: map[int][]float64{}}
+}
+
+func (o *parityOracle) from(u int) []float64 {
+	if d, ok := o.rows[u]; ok {
+		return d
+	}
+	d := sssp.Dijkstra(o.g, u)
+	o.rows[u] = d
+	return d
+}
+
+// parityStack is one serving topology under test, reduced to the only
+// thing the workload checks need: the base URL of its public HTTP
+// surface.
+type parityStack struct {
+	name string
+	base string
+}
+
+// parityStacks starts all three topologies over fx: the single-process
+// server, a 3-shard cluster, and a 2×2 replicated cluster. Listeners
+// and serving processes are torn down by t.Cleanup.
+func parityStacks(t *testing.T, fx *chl.FlatIndex) []parityStack {
+	t.Helper()
+	flat := chl.NewServerFromFlat(fx, 1<<12)
+	flatTS := httptest.NewServer(flat.Handler())
+	t.Cleanup(func() { flatTS.Close(); flat.Close() })
+
+	sharded := newTestCluster(t, fx, clusterSpec{shards: 3, cacheSize: 1 << 12})
+	shardedTS := httptest.NewServer(sharded.router.Handler())
+	t.Cleanup(func() { shardedTS.Close(); sharded.close() })
+
+	replicated := newTestCluster(t, fx, clusterSpec{shards: 2, replicas: 2, cacheSize: 1 << 12})
+	replicatedTS := httptest.NewServer(replicated.router.Handler())
+	t.Cleanup(func() { replicatedTS.Close(); replicated.close() })
+
+	return []parityStack{
+		{"flat", flatTS.URL},
+		{"sharded", shardedTS.URL},
+		{"replicated", replicatedTS.URL},
+	}
+}
+
+// getParity GETs url and decodes the JSON body into out, failing the
+// test on any non-200.
+func getParity(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: undecodable body: %v", url, err)
+	}
+}
+
+type distParityResp struct {
+	Reachable bool    `json:"reachable"`
+	Dist      float64 `json:"dist"`
+	Hub       int     `json:"hub"`
+}
+
+type pathsParityResp struct {
+	Reachable bool    `json:"reachable"`
+	Dist      float64 `json:"dist"`
+	Path      []int   `json:"path"`
+}
+
+type knnParityResp struct {
+	Neighbors []chl.Neighbor `json:"neighbors"`
+}
+
+// checkDistParity sweeps pairs through GET /dist against the oracle.
+func checkDistParity(t *testing.T, base string, o *parityOracle, pairs [][2]int) {
+	t.Helper()
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		var r distParityResp
+		getParity(t, fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, v), &r)
+		want := o.from(u)[v]
+		if reach := want != chl.Infinity; r.Reachable != reach {
+			t.Fatalf("/dist(%d,%d) reachable = %v, oracle says %v", u, v, r.Reachable, reach)
+		}
+		if r.Reachable && r.Dist != want {
+			t.Fatalf("/dist(%d,%d) = %v, oracle says %v", u, v, r.Dist, want)
+		}
+	}
+}
+
+// checkPathsParity verifies GET /paths on each pair: the total is the
+// oracle's distance, the sequence is a u→…→v walk whose every waypoint
+// provably lies on a shortest path, and — the acceptance bar — the
+// consecutive segments' own /dist answers re-sum to the total bit for
+// bit.
+func checkPathsParity(t *testing.T, base string, o *parityOracle, pairs [][2]int) {
+	t.Helper()
+	for _, p := range pairs {
+		u, v := p[0], p[1]
+		var r pathsParityResp
+		getParity(t, fmt.Sprintf("%s/paths?u=%d&v=%d", base, u, v), &r)
+		want := o.from(u)[v]
+		if reach := want != chl.Infinity; r.Reachable != reach {
+			t.Fatalf("/paths(%d,%d) reachable = %v, oracle says %v", u, v, r.Reachable, reach)
+		}
+		if !r.Reachable {
+			if len(r.Path) != 0 {
+				t.Fatalf("/paths(%d,%d) unreachable but returned a path %v", u, v, r.Path)
+			}
+			continue
+		}
+		if r.Dist != want {
+			t.Fatalf("/paths(%d,%d) dist = %v, oracle says %v", u, v, r.Dist, want)
+		}
+		if len(r.Path) < 1 || r.Path[0] != u || r.Path[len(r.Path)-1] != v {
+			t.Fatalf("/paths(%d,%d) sequence %v does not run u→v", u, v, r.Path)
+		}
+		seen := map[int]bool{}
+		for _, w := range r.Path {
+			if seen[w] {
+				t.Fatalf("/paths(%d,%d) revisits vertex %d: %v", u, v, w, r.Path)
+			}
+			seen[w] = true
+			// Every waypoint lies on a shortest u→v path.
+			if o.from(u)[w]+o.from(w)[v] != want {
+				t.Fatalf("/paths(%d,%d): waypoint %d is off every shortest path (%v + %v vs %v)",
+					u, v, w, o.from(u)[w], o.from(w)[v], want)
+			}
+		}
+		// Segments re-sum to the total through the same stack's /dist.
+		var sum float64
+		for i := 0; i+1 < len(r.Path); i++ {
+			a, b := r.Path[i], r.Path[i+1]
+			var seg distParityResp
+			getParity(t, fmt.Sprintf("%s/dist?u=%d&v=%d", base, a, b), &seg)
+			if !seg.Reachable || seg.Dist != o.from(a)[b] {
+				t.Fatalf("/paths(%d,%d): segment (%d,%d) /dist = (%v,%v), oracle says %v",
+					u, v, a, b, seg.Dist, seg.Reachable, o.from(a)[b])
+			}
+			sum += seg.Dist
+		}
+		if sum != r.Dist {
+			t.Fatalf("/paths(%d,%d): segments re-sum to %v, total says %v", u, v, sum, r.Dist)
+		}
+	}
+}
+
+// checkKNNParity verifies GET /knn: the result is exactly the oracle's
+// k nearest reachable targets under the (distance, vertex) order, and
+// every neighbor's (dist, hub) is the stack's own /dist answer for that
+// pair.
+func checkKNNParity(t *testing.T, base string, o *parityOracle, n int, sources []int, ks []int) {
+	t.Helper()
+	for _, u := range sources {
+		du := o.from(u)
+		var all []chl.Neighbor
+		for v := 0; v < n; v++ {
+			if v != u && du[v] != chl.Infinity {
+				all = append(all, chl.Neighbor{V: v, Dist: du[v]})
+			}
+		}
+		// Already sorted by (dist, v)? No — by v; sort by (dist, v).
+		for i := 1; i < len(all); i++ {
+			for j := i; j > 0 && (all[j].Dist < all[j-1].Dist || (all[j].Dist == all[j-1].Dist && all[j].V < all[j-1].V)); j-- {
+				all[j], all[j-1] = all[j-1], all[j]
+			}
+		}
+		for _, k := range ks {
+			if k < 1 || k > n {
+				continue
+			}
+			var r knnParityResp
+			getParity(t, fmt.Sprintf("%s/knn?u=%d&k=%d", base, u, k), &r)
+			wantLen := k
+			if len(all) < k {
+				wantLen = len(all)
+			}
+			if len(r.Neighbors) != wantLen {
+				t.Fatalf("/knn(%d,%d) returned %d neighbors, oracle says %d", u, k, len(r.Neighbors), wantLen)
+			}
+			for i, nb := range r.Neighbors {
+				if nb.V != all[i].V || nb.Dist != all[i].Dist {
+					t.Fatalf("/knn(%d,%d)[%d] = (%d,%v), oracle says (%d,%v)", u, k, i, nb.V, nb.Dist, all[i].V, all[i].Dist)
+				}
+				var d distParityResp
+				getParity(t, fmt.Sprintf("%s/dist?u=%d&v=%d", base, u, nb.V), &d)
+				if !d.Reachable || d.Dist != nb.Dist || d.Hub != nb.Hub {
+					t.Fatalf("/knn(%d,%d)[%d]: neighbor (%d,%v,hub %d) disagrees with /dist (%v,%v,hub %d)",
+						u, k, i, nb.V, nb.Dist, nb.Hub, d.Dist, d.Reachable, d.Hub)
+				}
+			}
+		}
+	}
+}
+
+// checkMatrixParity POSTs one sources × targets /matrix request and
+// verifies the NDJSON stream line by line against the oracle: the
+// header first, then one row per source in request order, -1 marking
+// unreachable.
+func checkMatrixParity(t *testing.T, base string, o *parityOracle, sources, targets []int) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"sources": sources, "targets": targets})
+	resp, err := http.Post(base+"/matrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /matrix: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /matrix: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("POST /matrix: Content-Type %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("/matrix stream ended before the header line")
+	}
+	var header struct {
+		Targets []int `json:"targets"`
+		Rows    int   `json:"rows"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+		t.Fatalf("/matrix header line: %v", err)
+	}
+	if header.Rows != len(sources) || len(header.Targets) != len(targets) {
+		t.Fatalf("/matrix header = %d rows × %d targets, want %d × %d", header.Rows, len(header.Targets), len(sources), len(targets))
+	}
+	for i, tgt := range header.Targets {
+		if tgt != targets[i] {
+			t.Fatalf("/matrix header target[%d] = %d, want %d", i, tgt, targets[i])
+		}
+	}
+	for _, u := range sources {
+		if !sc.Scan() {
+			t.Fatalf("/matrix stream ended before source %d's row", u)
+		}
+		var row struct {
+			U     int       `json:"u"`
+			Dists []float64 `json:"dists"`
+			Error string    `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("/matrix row line: %v", err)
+		}
+		if row.Error != "" {
+			t.Fatalf("/matrix stream aborted: %s", row.Error)
+		}
+		if row.U != u || len(row.Dists) != len(targets) {
+			t.Fatalf("/matrix row u=%d with %d dists, want u=%d with %d", row.U, len(row.Dists), u, len(targets))
+		}
+		du := o.from(u)
+		for j, v := range targets {
+			want := du[v]
+			if want == chl.Infinity {
+				want = -1
+			}
+			if row.Dists[j] != want {
+				t.Fatalf("/matrix row %d target %d = %v, oracle says %v", u, v, row.Dists[j], want)
+			}
+		}
+	}
+	if sc.Scan() {
+		t.Fatalf("/matrix stream has trailing data after the last row: %q", sc.Text())
+	}
+}
+
+// TestWorkloadParityMatrix is the harness: {packed, compressed} ×
+// {undirected, directed} × {flat, sharded, replicated} × {dist, paths,
+// knn, matrix}, all against the Dijkstra oracle. The undirected fixture
+// is deliberately disconnected so Infinity flows through every workload
+// and wire format.
+func TestWorkloadParityMatrix(t *testing.T) {
+	type fixture struct {
+		g  *chl.Graph
+		fx *chl.FlatIndex
+	}
+	fixtures := map[string]fixture{}
+	{
+		g := chl.GenerateRandom(240, 400, 9, 3)
+		_, fx := buildFrozen(t, g)
+		fixtures["undirected"] = fixture{g, fx}
+	}
+	{
+		g := chl.GenerateRandomDirected(220, 1100, 9, 8)
+		_, fx := buildDirectedFrozen(t, g)
+		fixtures["directed"] = fixture{g, fx}
+	}
+	for dirName, f := range fixtures {
+		for _, format := range []string{"packed", "compressed"} {
+			fx := f.fx
+			if format == "compressed" {
+				fx = compress(t, fx)
+			}
+			t.Run(dirName+"/"+format, func(t *testing.T) {
+				o := newParityOracle(f.g)
+				n := fx.NumVertices()
+				// Deterministic probe sets: a spread of pairs including
+				// u==v and (on the sparse fixture) unreachable ones.
+				var pairs [][2]int
+				for i := 0; i < 40; i++ {
+					pairs = append(pairs, [2]int{(i * 37) % n, (i*101 + 13) % n})
+				}
+				pairs = append(pairs, [2]int{5, 5})
+				sources := []int{0, 7 % n, (n / 2) % n, n - 1}
+				targets := []int{1, 3 % n, (n / 3) % n, (2 * n / 3) % n, n - 2, n - 1}
+				for _, st := range parityStacks(t, fx) {
+					t.Run(st.name, func(t *testing.T) {
+						checkDistParity(t, st.base, o, pairs)
+						checkPathsParity(t, st.base, o, pairs[:24])
+						checkKNNParity(t, st.base, o, n, sources, []int{1, 3, 9, n})
+						checkMatrixParity(t, st.base, o, sources, targets)
+					})
+				}
+			})
+		}
+	}
+}

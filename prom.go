@@ -90,6 +90,16 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the underlying writer when it supports streaming —
+// embedding only promotes the ResponseWriter methods, so without this
+// an instrumented streaming endpoint (/matrix flushes per row) would
+// silently lose its flushes.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // wrap instruments a handler: duration into the endpoint's histogram,
 // request and error counters alongside.
 func (m *httpMetrics) wrap(name string, h http.HandlerFunc) http.HandlerFunc {

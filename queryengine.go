@@ -52,6 +52,28 @@ type FlatIndex struct {
 	// close releases. Heap-backed indexes leave both zero.
 	close  func() error
 	mapped bool
+
+	// inv memoizes the label-inverted index (hub → carrying vertices,
+	// distance-sorted) that the /knn workload joins against. It is
+	// derived from the target-side (backward) store on first use —
+	// never serialized, so the pinned CHFX formats are untouched — and
+	// inverting a per-shard slice automatically yields the shard's
+	// slice of it (empty runs invert to no postings).
+	invOnce sync.Once
+	inv     *label.Inverted
+}
+
+// inverted returns the index's label-inverted half, building it on
+// first use (concurrency-safe; subsequent calls are a pointer read).
+func (fx *FlatIndex) inverted() *label.Inverted {
+	fx.invOnce.Do(func() {
+		if fx.cflat != nil {
+			fx.inv = label.InvertCompressed(fx.cbackward())
+		} else {
+			fx.inv = label.Invert(fx.backward())
+		}
+	})
+	return fx.inv
 }
 
 // Directed reports whether the index holds directed (forward + backward)

@@ -99,17 +99,7 @@ func (c *replicatedCluster) revive(sid, rid int) {
 // newShardServer starts one serving process for shard sid of the cluster.
 func (c *replicatedCluster) newShardServer(t *testing.T, sid, cacheSize int) *chl.Server {
 	t.Helper()
-	path, err := chl.ShardFilePath(c.dir+"/"+shard.ManifestName, c.manifest, sid)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := chl.NewServer(path, cacheSize)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.SetShard(sid, c.part); err != nil {
-		t.Fatal(err)
-	}
+	s := newShardProcess(t, c.dir, c.manifest, c.part, sid, cacheSize)
 	c.servers = append(c.servers, s)
 	return s
 }
@@ -124,42 +114,19 @@ func (c *replicatedCluster) restart(t *testing.T, sid, rid, cacheSize int) {
 }
 
 // startReplicatedCluster splits fx into shards×replicas serving processes
-// under a temp dir and starts the full replicated topology. tweak (may be
-// nil) adjusts the router config before the router starts.
+// under a temp dir and starts the full replicated topology — an adapter
+// over the shared newTestCluster fixture with kill switches on. tweak
+// (may be nil) adjusts the router config before the router starts.
 func startReplicatedCluster(t *testing.T, fx *chl.FlatIndex, shards, replicasPer, cacheSize int, tweak func(*chl.RouterConfig)) *replicatedCluster {
 	t.Helper()
-	dir := t.TempDir()
-	m, err := fx.SaveShards(dir, shards, 64, 1)
-	if err != nil {
-		t.Fatal(err)
+	tc := newTestCluster(t, fx, clusterSpec{
+		shards: shards, replicas: replicasPer, cacheSize: cacheSize,
+		flaky: true, tweak: tweak,
+	})
+	return &replicatedCluster{
+		router: tc.router, servers: tc.servers, backends: tc.backends,
+		flaky: tc.flaky, manifest: tc.manifest, part: tc.part, dir: tc.dir,
 	}
-	part, err := m.Partition()
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := &replicatedCluster{manifest: m, part: part, dir: dir}
-	groups := make([][]string, shards)
-	for sid := 0; sid < shards; sid++ {
-		c.backends = append(c.backends, nil)
-		c.flaky = append(c.flaky, nil)
-		for rid := 0; rid < replicasPer; rid++ {
-			f := newFlakyBackend(c.newShardServer(t, sid, cacheSize).Handler())
-			ts := httptest.NewServer(f)
-			c.backends[sid] = append(c.backends[sid], ts)
-			c.flaky[sid] = append(c.flaky[sid], f)
-			groups[sid] = append(groups[sid], ts.URL)
-		}
-	}
-	cfg := chl.RouterConfig{Manifest: m, ReplicaAddrs: groups, CacheSize: cacheSize}
-	if tweak != nil {
-		tweak(&cfg)
-	}
-	r, err := chl.NewRouter(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.router = r
-	return c
 }
 
 // verticesByOwner groups [0,n) by owning shard.

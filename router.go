@@ -524,7 +524,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		hedgeDelay:  hedgeDelay,
 		maxInFlight: int64(cfg.MaxInFlight),
 		quota:       newQuotaLimiter(clock, cfg.ClientQPS, cfg.ClientBurst),
-		metrics:     newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz"),
+		metrics:     newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix", "/stats", "/reload", "/healthz"),
 		start:       clock.Now(),
 	}
 	idents := make([][]genObs, len(groups))
@@ -1748,15 +1748,19 @@ func (r *Router) Stats() RouterStats {
 }
 
 // Handler returns the router's HTTP API — the same public surface as a
-// single-process Server (GET /dist, POST /batch, GET /stats, GET
-// /healthz, GET /metrics) plus POST /reload?shard=I[&replica=J][&path=P],
-// which proxies a hot reload to one shard replica. Errors are JSON
-// bodies; shard failures are 502s listing the failed shards; shed
-// requests are 429s with a retry-after body (see shape).
+// single-process Server (GET /dist, POST /batch, GET /paths, GET /knn,
+// POST /matrix, GET /stats, GET /healthz, GET /metrics) plus POST
+// /reload?shard=I[&replica=J][&path=P], which proxies a hot reload to
+// one shard replica. Errors are JSON bodies; shard failures are 502s
+// listing the failed shards; shed requests are 429s with a retry-after
+// body (see shape).
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dist", r.metrics.wrap("/dist", r.shape(r.handleDist)))
 	mux.HandleFunc("/batch", r.metrics.wrap("/batch", r.shape(r.handleBatch)))
+	mux.HandleFunc("/paths", r.metrics.wrap("/paths", r.shape(r.handlePaths)))
+	mux.HandleFunc("/knn", r.metrics.wrap("/knn", r.shape(r.handleKNN)))
+	mux.HandleFunc("/matrix", r.metrics.wrap("/matrix", r.shape(r.handleMatrix)))
 	mux.HandleFunc("/stats", r.metrics.wrap("/stats", r.handleStats))
 	mux.HandleFunc("/healthz", r.metrics.wrap("/healthz", r.handleHealthz))
 	mux.HandleFunc("/reload", r.metrics.wrap("/reload", r.handleReload))
@@ -1765,8 +1769,9 @@ func (r *Router) Handler() http.Handler {
 }
 
 // shape is the admission-control middleware on the query endpoints
-// (/dist and /batch only — health, stats, and operator endpoints must
-// keep answering under overload, that's what they are for). Two gates,
+// (/dist, /batch, /paths, /knn, and /matrix only — health, stats, and
+// operator endpoints must keep answering under overload, that's what
+// they are for). Two gates,
 // cheapest first: a global concurrency limit, then the per-client token
 // bucket. Both shed with a 429 whose JSON body carries the machine-
 // usable reason and retry-after (shedBody); shed requests never touch

@@ -59,42 +59,16 @@ func buildFlat(t *testing.T, g *chl.Graph) (*chl.FlatIndex, *chl.Index) {
 }
 
 // startCluster splits fx into k shards under a temp dir and starts the
-// full serving topology.
+// full serving topology — an adapter over the shared newTestCluster
+// fixture, flattening its per-shard replica groups (one replica each
+// here) into the flat slices this file's tests index.
 func startCluster(t *testing.T, fx *chl.FlatIndex, k, cacheSize int) *cluster {
 	t.Helper()
-	dir := t.TempDir()
-	m, err := fx.SaveShards(dir, k, 64, 1)
-	if err != nil {
-		t.Fatal(err)
+	tc := newTestCluster(t, fx, clusterSpec{shards: k, cacheSize: cacheSize})
+	c := &cluster{router: tc.router, servers: tc.servers, manifest: tc.manifest, dir: tc.dir}
+	for _, group := range tc.backends {
+		c.backends = append(c.backends, group...)
 	}
-	part, err := m.Partition()
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := &cluster{manifest: m, dir: dir}
-	addrs := make([]string, k)
-	for i := 0; i < k; i++ {
-		path, err := chl.ShardFilePath(dir+"/"+shard.ManifestName, m, i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		s, err := chl.NewServer(path, cacheSize)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := s.SetShard(i, part); err != nil {
-			t.Fatal(err)
-		}
-		ts := httptest.NewServer(s.Handler())
-		c.servers = append(c.servers, s)
-		c.backends = append(c.backends, ts)
-		addrs[i] = ts.URL
-	}
-	r, err := chl.NewRouter(chl.RouterConfig{Manifest: m, Addrs: addrs, CacheSize: cacheSize})
-	if err != nil {
-		t.Fatal(err)
-	}
-	c.router = r
 	return c
 }
 

@@ -168,7 +168,8 @@ func newServer(cacheSize int) *Server {
 		start:     time.Now(),
 		epoch:     epoch & (1<<53 - 1),
 		shardID:   -1,
-		metrics:   newHTTPMetrics("/dist", "/batch", "/stats", "/reload", "/healthz", "/shardquery"),
+		metrics: newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix",
+			"/stats", "/reload", "/healthz", "/shardquery", "/shardscan"),
 	}
 }
 
@@ -393,6 +394,26 @@ func (s *Server) Batch(pairs []QueryPair) []float64 {
 	return sn.eng.Batch(pairs)
 }
 
+// Path reconstructs the shortest-path witness chain between u and v on
+// the current snapshot; segment queries go through the snapshot's
+// cache (see BatchEngine.Path).
+func (s *Server) Path(u, v int) (dist float64, path []int, reachable bool, err error) {
+	sn := s.Acquire()
+	defer sn.Release()
+	s.queries.Add(1)
+	return sn.eng.Path(u, v)
+}
+
+// KNN returns up to k nearest targets from u on the current snapshot,
+// seeding the snapshot's pair cache with the results (see
+// BatchEngine.KNN).
+func (s *Server) KNN(u, k int) []Neighbor {
+	sn := s.Acquire()
+	defer sn.Release()
+	s.queries.Add(1)
+	return sn.eng.KNN(u, k)
+}
+
 // ServerStats is the /stats response: the current snapshot's shape and
 // provenance plus the server's cumulative counters.
 type ServerStats struct {
@@ -446,20 +467,25 @@ func (s *Server) Stats() ServerStats {
 	return st
 }
 
-// Handler returns the HTTP API: GET /dist, POST /batch, GET /stats,
-// POST /reload, GET /healthz, GET /metrics (Prometheus text format with
-// per-endpoint latency histograms), and — for the sharded tier —
-// POST /shardquery. Every error is a JSON body {"error": "..."} with a
-// precise status code; see README.md for the full request/response
-// schemas.
+// Handler returns the HTTP API: GET /dist, POST /batch, GET /paths,
+// GET /knn, POST /matrix (NDJSON-streamed), GET /stats, POST /reload,
+// GET /healthz, GET /metrics (Prometheus text format with per-endpoint
+// latency histograms), and — for the sharded tier — POST /shardquery
+// and POST /shardscan. Every error is a JSON body {"error": "..."}
+// with a precise status code; see README.md for the full
+// request/response schemas.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/dist", s.metrics.wrap("/dist", s.handleDist))
 	mux.HandleFunc("/batch", s.metrics.wrap("/batch", s.handleBatch))
+	mux.HandleFunc("/paths", s.metrics.wrap("/paths", s.handlePaths))
+	mux.HandleFunc("/knn", s.metrics.wrap("/knn", s.handleKNN))
+	mux.HandleFunc("/matrix", s.metrics.wrap("/matrix", s.handleMatrix))
 	mux.HandleFunc("/stats", s.metrics.wrap("/stats", s.handleStats))
 	mux.HandleFunc("/reload", s.metrics.wrap("/reload", s.handleReload))
 	mux.HandleFunc("/healthz", s.metrics.wrap("/healthz", s.handleHealthz))
 	mux.HandleFunc("/shardquery", s.metrics.wrap("/shardquery", s.handleShardQuery))
+	mux.HandleFunc("/shardscan", s.metrics.wrap("/shardscan", s.handleShardScan))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -754,6 +780,275 @@ func (s *Server) handleShardQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Resolved[strconv.Itoa(rank)] = sn.fx.perm[rank]
 	}
 	s.queries.Add(int64(len(req.Vertices) + len(req.Backward)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// rejectRichOnShard rejects a rich-workload request (/paths, /knn,
+// /matrix) sent directly to a shard server: these workloads need the
+// whole vertex space (path waypoints and knn/matrix targets land on
+// arbitrary shards), so only plain servers and the router serve them.
+// 421, like misdirected — the fix is the same: route through the
+// router.
+func (s *Server) rejectRichOnShard(w http.ResponseWriter) bool {
+	if s.part == nil {
+		return false
+	}
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error": fmt.Sprintf("shard %d serves only its owned label rows; route rich query workloads through the cluster's router", s.shardID),
+		"shard": s.shardID,
+	})
+	return true
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /paths?u=&v=")
+		return
+	}
+	if s.rejectRichOnShard(w) {
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+	v, err2 := strconv.Atoi(r.URL.Query().Get("v"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "u and v must be integer vertex ids")
+		return
+	}
+	if u < 0 || v < 0 || u >= n || v >= n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
+		return
+	}
+	s.queries.Add(1)
+	d, path, ok, err := sn.eng.Path(u, v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := map[string]any{"u": u, "v": v, "reachable": ok}
+	if ok {
+		resp["dist"] = d
+		resp["path"] = path
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET /knn?u=&k=")
+		return
+	}
+	if s.rejectRichOnShard(w) {
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	u, err1 := strconv.Atoi(r.URL.Query().Get("u"))
+	k, err2 := strconv.Atoi(r.URL.Query().Get("k"))
+	if err1 != nil || err2 != nil {
+		httpError(w, http.StatusBadRequest, "u and k must be integers")
+		return
+	}
+	if u < 0 || u >= n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
+		return
+	}
+	if k < 1 || k > n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [1,%d]", n))
+		return
+	}
+	s.queries.Add(1)
+	neighbors := sn.eng.KNN(u, k)
+	if neighbors == nil {
+		neighbors = []Neighbor{} // an isolated source answers [], not null
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "k": k, "neighbors": neighbors})
+}
+
+// matrixRequest is the /matrix body: distances from every source to
+// every target, streamed row by row.
+type matrixRequest struct {
+	Sources []int `json:"sources"`
+	Targets []int `json:"targets"`
+}
+
+// decodeMatrixBody parses and bounds-checks a /matrix request body for
+// an n-vertex index; shared by the single-process server and the
+// Router. On failure it writes the error response and returns
+// ok=false.
+func decodeMatrixBody(w http.ResponseWriter, r *http.Request, n int) (matrixRequest, bool) {
+	var req matrixRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "body must be a JSON object {\"sources\":[...],\"targets\":[...]}: "+err.Error())
+		return req, false
+	}
+	if len(req.Sources) == 0 || len(req.Targets) == 0 {
+		httpError(w, http.StatusBadRequest, "sources and targets must both be non-empty")
+		return req, false
+	}
+	for _, id := range req.Sources {
+		if id < 0 || id >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
+			return req, false
+		}
+	}
+	for _, id := range req.Targets {
+		if id < 0 || id >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex ids must be in [0,%d)", n))
+			return req, false
+		}
+	}
+	return req, true
+}
+
+// handleMatrix streams the sources × targets distance matrix as
+// NDJSON: one header line {"targets":[...],"rows":N}, then one line
+// {"u":u,"dists":[...]} per source (-1 marks unreachable pairs), each
+// flushed as it is written. The response never materializes more than
+// one row — a many-to-many query over a large index streams in
+// constant memory at both ends.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON {\"sources\":[...],\"targets\":[...]} body")
+		return
+	}
+	if s.rejectRichOnShard(w) {
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	req, ok := decodeMatrixBody(w, r, sn.fx.NumVertices())
+	if !ok {
+		return
+	}
+	s.queries.Add(int64(len(req.Sources)) * int64(len(req.Targets)))
+	streamMatrix(w, sn.fx, req)
+}
+
+// streamMatrix writes the NDJSON matrix stream over fx; shared shape
+// with the router's handler so both tiers speak one protocol.
+func streamMatrix(w http.ResponseWriter, fx *FlatIndex, req matrixRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.Encode(map[string]any{"targets": req.Targets, "rows": len(req.Sources)})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	wire := make([]float64, len(req.Targets))
+	fx.MatrixRows(req.Sources, req.Targets, func(u int, dists []float64) error {
+		for i, d := range dists {
+			if d == Infinity {
+				wire[i] = -1 // JSON has no +Inf
+			} else {
+				wire[i] = d
+			}
+		}
+		if err := enc.Encode(map[string]any{"u": u, "dists": wire}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+// shardScanRequest is the router-facing /shardscan body: one source
+// label run shipped to the shard, scanned against the shard's owned
+// vertices — its slice of the inverted index when K > 0 (top-k
+// candidates), its targets' backward runs when Targets is set (one
+// matrix-row fragment). Exclude names a vertex the scan must omit (the
+// source itself); it defaults to -1 (omit nothing).
+type shardScanRequest struct {
+	Run     string `json:"run"`
+	K       int    `json:"k,omitempty"`
+	Exclude int    `json:"exclude"`
+	Targets []int  `json:"targets,omitempty"`
+}
+
+// shardScanResponse carries the scan results plus the same snapshot
+// identity stamps as /shardquery, so the router's cache retirement
+// sees scans too. Neighbor hubs are already resolved to original ids
+// (the permutation is global and identical in every shard file).
+// Dists uses -1 for unreachable, as every wire format here does.
+type shardScanResponse struct {
+	Generation uint64     `json:"generation"`
+	Epoch      uint64     `json:"epoch"`
+	Ident      uint64     `json:"ident"`
+	Vertices   int        `json:"n"`
+	Directed   bool       `json:"directed,omitempty"`
+	Neighbors  []Neighbor `json:"neighbors,omitempty"`
+	Dists      []float64  `json:"dists,omitempty"`
+}
+
+// handleShardScan serves the internal scan protocol behind the
+// router's /knn and /matrix: the router fetches the source's forward
+// run once, then ships it to the shards owning the candidates, and
+// each shard scans only its own label rows.
+func (s *Server) handleShardScan(w http.ResponseWriter, r *http.Request) {
+	if s.part == nil {
+		httpError(w, http.StatusNotFound, "shardscan is only served by shard servers (started with a cluster manifest)")
+		return
+	}
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON {\"run\":...,\"k\":...,\"targets\":[...]} body")
+		return
+	}
+	req := shardScanRequest{Exclude: -1}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "body must be a JSON object {\"run\":...,\"k\":...,\"targets\":[...]}: "+err.Error())
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	n := sn.fx.NumVertices()
+	run, err := decodePackedRun(req.Run, n)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.K < 0 || req.K > n {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("k must be in [0,%d]", n))
+		return
+	}
+	resp := shardScanResponse{Generation: sn.gen, Epoch: s.epoch, Ident: sn.ident, Vertices: n, Directed: sn.fx.Directed()}
+	if req.K > 0 {
+		resp.Neighbors = sn.fx.KNNFromRun(run, req.K, req.Exclude)
+	}
+	if len(req.Targets) > 0 {
+		for _, t := range req.Targets {
+			if t < 0 || t >= n {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("vertex id %d out of range [0,%d)", t, n))
+				return
+			}
+			if !s.owns(t) {
+				s.misdirected(w, t)
+				return
+			}
+		}
+		resp.Dists = make([]float64, len(req.Targets))
+		sn.fx.MatrixRowInto(label.NewQueryScratch(n), resp.Dists, run, req.Targets)
+		for i, d := range resp.Dists {
+			if d == Infinity {
+				resp.Dists[i] = -1
+			}
+		}
+	}
+	s.queries.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 

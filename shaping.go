@@ -18,6 +18,19 @@ import (
 
 // --- singleflight ---
 
+// flightKind separates the workload keyspaces collapsible work lives
+// in. Pair queries and top-k scans both pack two integers into
+// flightKey.pair, so without the kind a /knn for (u=3, k=5) would
+// collapse into an in-flight /dist for the pair (3,5) — a different
+// question with the same bits. Same discipline as the answer cache,
+// which never lets a non-pair workload mint pair keys (see Cache).
+type flightKind uint8
+
+const (
+	flightDist flightKind = iota // pair query: pair = u<<32|v under the cache's pairKey rule
+	flightKNN                    // top-k scan: pair = u<<32|k
+)
+
 // flightKey identifies one collapsible unit of in-flight work: a vertex
 // pair under the cache's key discipline (canonicalized when the cluster
 // is undirected, ordered when directed — the same pairKey rule, so two
@@ -26,16 +39,19 @@ import (
 // hub-less leader cannot feed a hub-needing follower, so the two kinds
 // fly separately.
 type flightKey struct {
+	kind flightKind
 	pair uint64
 	hub  bool
 }
 
 // flightResult is what a flight's leader hands every collapsed follower.
+// Pair flights fill dist/hub/ok; /knn flights fill neighbors.
 type flightResult struct {
-	dist float64
-	hub  int
-	ok   bool
-	err  error
+	dist      float64
+	hub       int
+	ok        bool
+	neighbors []Neighbor
+	err       error
 }
 
 type flight struct {

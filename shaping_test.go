@@ -102,6 +102,12 @@ func TestFlightGroupKeyDiscipline(t *testing.T) {
 		{"same pair same kind", flightKey{pair: 9, hub: false}, flightKey{pair: 9, hub: false}, true},
 		{"same pair hub vs plain", flightKey{pair: 9, hub: false}, flightKey{pair: 9, hub: true}, false},
 		{"different pair", flightKey{pair: 9, hub: false}, flightKey{pair: 10, hub: false}, false},
+		// /knn(u=3,k=5) packs the same pair bits as /dist(3,5): the kind
+		// field is what keeps the two workloads in separate flights.
+		{"same bits dist vs knn", flightKey{kind: flightDist, pair: 3<<32 | 5, hub: true},
+			flightKey{kind: flightKNN, pair: 3<<32 | 5, hub: true}, false},
+		{"same knn key collapses", flightKey{kind: flightKNN, pair: 3<<32 | 5},
+			flightKey{kind: flightKNN, pair: 3<<32 | 5}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,164 @@
+package chl
+
+// White-box tests for the path-expansion engine: expandPath must
+// terminate with an error — never loop, recurse unboundedly, or panic —
+// when its querier misbehaves. The queriers here are hostile by
+// construction: witness cycles sustained by exactly-halving legs,
+// inconsistent leg sums, out-of-range hubs, and (in the fuzz target)
+// arbitrary byte-driven nonsense.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestExpandPathBudgetOnHalvingCycle drives the one adversary that
+// satisfies every local invariant — legs strictly positive and summing
+// exactly to the parent — yet never terminates: each segment's legs are
+// exactly half its distance, forever, cycling through the same three
+// vertices. Only the query budget can stop it, and it must, with an
+// error rather than a stack overflow.
+func TestExpandPathBudgetOnHalvingCycle(t *testing.T) {
+	const n = 3
+	expect := map[[2]int]float64{{0, 1}: 1}
+	q := func(a, b int) (float64, int, bool, error) {
+		d, known := expect[[2]int{a, b}]
+		if !known {
+			d = 1
+		}
+		h := 3 - a - b // the third vertex: never an endpoint
+		expect[[2]int{a, h}] = d / 2
+		expect[[2]int{h, b}] = d / 2
+		return d, h, true, nil
+	}
+	_, _, _, err := expandPath(0, 1, n, q)
+	if err == nil {
+		t.Fatal("halving-cycle adversary expanded without error")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("halving-cycle adversary failed with %q, want the budget error", err)
+	}
+}
+
+// TestExpandPathRejectsInconsistentLegs: a witness whose legs do not
+// sum to the segment distance (or are not strictly positive) is a label
+// contradiction and must error, not recurse.
+func TestExpandPathRejectsInconsistentLegs(t *testing.T) {
+	cases := map[string]func(a, b int) (float64, int, bool, error){
+		"legs do not sum": func(a, b int) (float64, int, bool, error) {
+			if a == 0 && b == 1 {
+				return 10, 2, true, nil
+			}
+			return 3, a, true, nil // 3 + 3 != 10
+		},
+		"zero-length leg": func(a, b int) (float64, int, bool, error) {
+			if a == 0 && b == 1 {
+				return 10, 2, true, nil
+			}
+			if a == 0 && b == 2 {
+				return 0, 0, true, nil // d(u,h) == 0 with h != u
+			}
+			return 10, 1, true, nil
+		},
+		"unreachable leg": func(a, b int) (float64, int, bool, error) {
+			if a == 0 && b == 1 {
+				return 10, 2, true, nil
+			}
+			return 0, 0, false, nil
+		},
+		"hub out of range": func(a, b int) (float64, int, bool, error) {
+			return 10, 99, true, nil
+		},
+	}
+	for name, q := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, _, _, err := expandPath(0, 1, 3, q)
+			if err == nil {
+				t.Fatal("inconsistent querier expanded without error")
+			}
+		})
+	}
+}
+
+// TestExpandPathPropagatesQuerierErrors: a transport-level failure from
+// the querier (the router's shard errors) surfaces verbatim.
+func TestExpandPathPropagatesQuerierErrors(t *testing.T) {
+	boom := errors.New("shard down")
+	q := func(a, b int) (float64, int, bool, error) { return 0, 0, false, boom }
+	if _, _, _, err := expandPath(0, 1, 3, q); !errors.Is(err, boom) {
+		t.Fatalf("querier error not propagated: %v", err)
+	}
+	// The top-level query failing is an error; but u == v never queries.
+	if _, path, ok, err := expandPath(2, 2, 3, q); err != nil || !ok || len(path) != 1 || path[0] != 2 {
+		t.Fatalf("u == v must not consult the querier: (%v, %v, %v)", path, ok, err)
+	}
+}
+
+// FuzzPathExpand feeds expandPath a byte-driven querier — arbitrary
+// distances, hubs (in and out of range), unreachability, and errors —
+// and requires that it always terminates with either an error or a
+// structurally sound walk. Termination itself is the main assertion:
+// a cyclic or non-contracting witness chain that escaped the budget
+// would hang the fuzz worker.
+func FuzzPathExpand(f *testing.F) {
+	f.Add(uint8(8), uint8(0), uint8(5), []byte{})
+	f.Add(uint8(16), uint8(3), uint8(3), []byte{0x1f, 0x22, 0x80, 0x07})
+	f.Add(uint8(40), uint8(0), uint8(39), []byte{0xff, 0xfe, 0xfd, 0x08, 0x10, 0x20})
+	f.Add(uint8(4), uint8(1), uint8(2), []byte{0x09, 0x09, 0x09, 0x09, 0x09})
+	f.Fuzz(func(t *testing.T, nRaw, uRaw, vRaw uint8, data []byte) {
+		n := int(nRaw%48) + 2
+		u, v := int(uRaw)%n, int(vRaw)%n
+		i := 0
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[i%len(data)]
+			i++
+			return b
+		}
+		q := func(a, b int) (float64, int, bool, error) {
+			x := next()
+			switch {
+			case x&7 == 6:
+				return 0, 0, false, errors.New("hostile backend")
+			case x&7 == 7:
+				return 0, 0, false, nil
+			}
+			d := float64(x >> 3)
+			if x&1 == 1 {
+				d /= 4 // fractional legs
+			}
+			h := int(next())%(n+4) - 2 // sometimes out of [0,n)
+			return d, h, true, nil
+		}
+		d, path, ok, err := expandPath(u, v, n, q)
+		if err != nil {
+			return // rejected: fine, as long as it returned
+		}
+		if u == v {
+			if !ok || d != 0 || len(path) != 1 || path[0] != u {
+				t.Fatalf("u == v: got (%v, %v, %v)", d, path, ok)
+			}
+			return
+		}
+		if !ok {
+			if path != nil {
+				t.Fatalf("unreachable with a path: %v", path)
+			}
+			return
+		}
+		if len(path) < 2 || path[0] != u || path[len(path)-1] != v {
+			t.Fatalf("accepted walk %v does not run %d→%d", path, u, v)
+		}
+		if len(path) > 2*n+10 {
+			t.Fatalf("accepted walk of %d vertices on an n=%d index", len(path), n)
+		}
+		for _, w := range path {
+			if w < 0 || w >= n {
+				t.Fatalf("accepted walk %v leaves [0,%d)", path, n)
+			}
+		}
+	})
+}
