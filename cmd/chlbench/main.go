@@ -39,6 +39,7 @@ import (
 
 	chl "repro"
 	"repro/internal/shard"
+	"repro/internal/sssp"
 )
 
 // KernelStats is one kernel's micro-benchmark over the fixture's pairs.
@@ -92,6 +93,22 @@ type RouterSmoke struct {
 	OK        bool    `json:"ok"`
 }
 
+// UpdateStats is the dynamic-update section: /dist latency on the same
+// server before and after a patch batch lands (frozen join vs delta
+// overlay correction), the batch apply and compaction wall times, and
+// an agreement gate — every corrected and post-compaction answer must
+// equal a fresh Dijkstra on the patched graph, bit for bit.
+type UpdateStats struct {
+	PatchOps          int     `json:"patch_ops"`
+	FrozenDistMeanUs  float64 `json:"frozen_dist_mean_us"`
+	PatchedDistMeanUs float64 `json:"patched_dist_mean_us"`
+	UpdateApplyMs     float64 `json:"update_apply_ms"`
+	CompactMs         float64 `json:"compact_ms"`
+	PostCompactMeanUs float64 `json:"post_compact_dist_mean_us"`
+	Disagreements     int     `json:"disagreements"`
+	Agree             bool    `json:"agree"`
+}
+
 // Report is the BENCH_chl.json schema.
 type Report struct {
 	Generated time.Time       `json:"generated"`
@@ -100,6 +117,7 @@ type Report struct {
 	Seed      int64           `json:"seed"`
 	Fixtures  []FixtureReport `json:"fixtures"`
 	Router    *RouterSmoke    `json:"router,omitempty"`
+	Updates   *UpdateStats    `json:"updates,omitempty"`
 	OK        bool            `json:"ok"`
 }
 
@@ -153,6 +171,12 @@ func main() {
 	rs := routerSmoke(fixtures[0].g, *seed)
 	rep.Router = &rs
 	if !rs.OK {
+		rep.OK = false
+	}
+
+	us := updatesBench(fixtures[0].g, *httpQ, *seed)
+	rep.Updates = &us
+	if !us.Agree {
 		rep.OK = false
 	}
 
@@ -605,6 +629,181 @@ func routerSmoke(g *chl.Graph, seed int64) RouterSmoke {
 	rs.OK = rs.Hedges > 0 && rs.Collapsed > 0 && rs.Shed > 0
 	fmt.Printf("router     hedges=%g collapsed=%g shed=%g ok=%v\n", rs.Hedges, rs.Collapsed, rs.Shed, rs.OK)
 	return rs
+}
+
+// benchPatchOps derives a deterministic patch batch from g: deletions
+// and reweights of existing edges spread across the vertex range, plus
+// insertions of absent ones, all with small integer weights so patched
+// distances stay float32-exact and the agreement gate can assert ==.
+func benchPatchOps(g *chl.Graph) []chl.EdgeOp {
+	n := g.NumVertices()
+	var ops []chl.EdgeOp
+	for step := 0; step < n && len(ops) < 8; step++ {
+		u := (step * 131) % n
+		heads, _ := g.Neighbors(u)
+		for _, h := range heads {
+			v := int(h)
+			if u == v || (!g.Directed() && v < u) {
+				continue
+			}
+			if len(ops)%2 == 0 {
+				ops = append(ops, chl.EdgeOp{Kind: chl.EdgeOpDel, U: u, V: v})
+			} else {
+				ops = append(ops, chl.EdgeOp{Kind: chl.EdgeOpSet, U: u, V: v, W: float64(2 + step%7)})
+			}
+			break
+		}
+	}
+	taken := map[[2]int]bool{}
+	for _, op := range ops {
+		taken[[2]int{op.U, op.V}] = true
+		taken[[2]int{op.V, op.U}] = true
+	}
+	for i := 1; len(ops) < 12 && i < 8*n; i++ {
+		u, v := (i*101)%n, (i*211+37)%n
+		if u == v || taken[[2]int{u, v}] {
+			continue
+		}
+		if _, has := g.HasEdge(u, v); has {
+			continue
+		}
+		if !g.Directed() {
+			if _, has := g.HasEdge(v, u); has {
+				continue
+			}
+		}
+		taken[[2]int{u, v}] = true
+		taken[[2]int{v, u}] = true
+		ops = append(ops, chl.EdgeOp{Kind: chl.EdgeOpAdd, U: u, V: v, W: float64(1 + i%6)})
+	}
+	if len(ops) == 0 {
+		fatal(fmt.Errorf("benchPatchOps: fixture graph yielded no ops"))
+	}
+	return ops
+}
+
+// updatesBench measures the dynamic-update tier on the first fixture:
+// /dist latency through the frozen join, the wall time to accept a
+// patch batch (POST /update), /dist latency through the delta overlay
+// correction on the same pairs, and the wall time to recompact (POST
+// /compact). Every patched-era and post-compaction answer is gated
+// against a fresh Dijkstra on the patched graph — the corrected path is
+// only worth measuring if it is exact.
+func updatesBench(g *chl.Graph, httpQ int, seed int64) UpdateStats {
+	ix, err := chl.Build(g, chl.Options{Algorithm: chl.AlgoGLL, Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fx, err := ix.Freeze()
+	if err != nil {
+		fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "chlbench-updates-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.flat")
+	if err := fx.SaveFile(path); err != nil {
+		fatal(err)
+	}
+	s, err := chl.NewServer(path, 0)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	if err := s.EnableUpdates(g, ""); err != nil {
+		fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	n := fx.NumVertices()
+	rng := rand.New(rand.NewSource(seed + 9))
+	type pair struct{ u, v int }
+	pairs := make([]pair, httpQ)
+	for i := range pairs {
+		pairs[i] = pair{rng.Intn(n), rng.Intn(n)}
+	}
+	var st UpdateStats
+	sweep := func(check func(u, v int, reachable bool, dist float64)) float64 {
+		start := time.Now()
+		for _, p := range pairs {
+			resp, err := client.Get(fmt.Sprintf("%s/dist?u=%d&v=%d", srv.URL, p.u, p.v))
+			if err != nil {
+				fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				fatal(fmt.Errorf("/dist status %d", resp.StatusCode))
+			}
+			var body struct {
+				Reachable bool    `json:"reachable"`
+				Dist      float64 `json:"dist"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				fatal(err)
+			}
+			resp.Body.Close()
+			if check != nil {
+				check(p.u, p.v, body.Reachable, body.Dist)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(len(pairs))
+	}
+
+	st.FrozenDistMeanUs = sweep(nil)
+
+	ops := benchPatchOps(g)
+	st.PatchOps = len(ops)
+	start := time.Now()
+	resp, err := client.Post(srv.URL+"/update", "text/plain", bytes.NewReader(chl.FormatPatchLog(ops)))
+	if err != nil {
+		fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("/update status %d", resp.StatusCode))
+	}
+	st.UpdateApplyMs = float64(time.Since(start).Microseconds()) / 1000
+
+	// Agreement oracle: exact Dijkstra rows on the patched graph.
+	patched, err := chl.ApplyPatch(g, ops)
+	if err != nil {
+		fatal(err)
+	}
+	rows := map[int][]float64{}
+	check := func(u, v int, reachable bool, dist float64) {
+		row, ok := rows[u]
+		if !ok {
+			row = sssp.Dijkstra(patched, u)
+			rows[u] = row
+		}
+		want := row[v]
+		if reachable != (want != chl.Infinity) || (reachable && dist != want) {
+			st.Disagreements++
+		}
+	}
+	st.PatchedDistMeanUs = sweep(check)
+
+	start = time.Now()
+	resp, err = client.Post(srv.URL+"/compact", "application/json", nil)
+	if err != nil {
+		fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("/compact status %d", resp.StatusCode))
+	}
+	st.CompactMs = float64(time.Since(start).Microseconds()) / 1000
+
+	st.PostCompactMeanUs = sweep(check)
+	st.Agree = st.Disagreements == 0
+	fmt.Printf("updates    ops=%d frozen=%5.0f µs patched=%5.0f µs apply=%6.1f ms compact=%6.1f ms post=%5.0f µs agree=%v\n",
+		st.PatchOps, st.FrozenDistMeanUs, st.PatchedDistMeanUs, st.UpdateApplyMs, st.CompactMs, st.PostCompactMeanUs, st.Agree)
+	return st
 }
 
 func fatal(err error) {

@@ -88,6 +88,9 @@ func main() {
 		prefault  = flag.Bool("prefault", false, "fault mapped indexes fully in before serving them (and before each hot swap)")
 		comp      = flag.Bool("compress", false, "use the compressed label format (CHFX v4) for -save, -split and in-process serving")
 
+		graphPath = flag.String("graph", "", "for -serve: the graph the index was built from (.gr DIMACS or edge list) — enables POST /update (delta overlay) and /compact")
+		journal   = flag.String("journal", "", "for -serve with -graph: update journal file — accepted patches are appended before serving and replayed on restart")
+
 		splitK    = flag.Int("split", 0, "slice the index into this many shard files plus a cluster manifest")
 		shardsDir = flag.String("shards-dir", "cluster", "output directory for -split")
 		replicas  = flag.Int("replicas", 64, "virtual ring points per shard for -split")
@@ -98,8 +101,11 @@ func main() {
 	flag.Parse()
 
 	if *serveAddr != "" {
-		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap, *prefault, *comp, *shardID, *manifest)
+		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap, *prefault, *comp, *shardID, *manifest, *graphPath, *journal)
 		return
+	}
+	if *graphPath != "" || *journal != "" {
+		fatal(fmt.Errorf("-graph/-journal enable dynamic updates on the serving tier; pass them with -serve"))
 	}
 
 	fx, ix, err := loadIndex(*indexPath, *loadPath)
@@ -246,7 +252,7 @@ func runSplit(fx *chl.FlatIndex, k int, dir string, replicas int, seed uint64, a
 // -compress converts in-process indexes (and -load files being re-saved
 // via -save) to the compressed label format before serving; a plain
 // -load serves whatever format the file already holds.
-func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault, comp bool, shardID int, manifestPath string) {
+func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault, comp bool, shardID int, manifestPath, graphPath, journal string) {
 	var (
 		s   *chl.Server
 		err error
@@ -257,8 +263,15 @@ func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault
 			// or -load must not be silently discarded.
 			fatal(fmt.Errorf("shard serving takes its file from the manifest; drop -index/-load"))
 		}
+		if graphPath != "" || journal != "" {
+			// Shards are frozen by design; the router owns the overlay.
+			fatal(fmt.Errorf("shard servers do not take updates (-graph/-journal); point them at chlrouter -graph instead"))
+		}
 		runShardServe(addr, cacheCap, prefault, shardID, manifestPath)
 		return
+	}
+	if journal != "" && graphPath == "" {
+		fatal(fmt.Errorf("-journal needs -graph GRAPH to replay against"))
 	}
 	switch {
 	case indexPath != "" && loadPath != "":
@@ -320,12 +333,46 @@ func runServe(addr, indexPath, loadPath, savePath string, cacheCap int, prefault
 	if prefault {
 		s.SetPrefault(true)
 	}
+	if graphPath != "" {
+		g, err := loadGraph(graphPath, s.Stats().Directed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.EnableUpdates(g, journal); err != nil {
+			fatal(err)
+		}
+		if st := s.Stats(); st.Patch != nil {
+			fmt.Printf("updates: enabled (graph %s, journal %s) — replayed %d ops, overlay epoch %d\n",
+				graphPath, journal, st.Patch.Ops, st.Patch.Epoch)
+		} else {
+			fmt.Printf("updates: enabled (graph %s, journal %s)\n", graphPath, journal)
+		}
+	}
 	st := s.Stats()
 	fmt.Printf("index: n=%d labels=%d flat=%.2f MiB mapped=%v directed=%v compressed=%v cache=%d\n",
 		st.Vertices, st.Labels, float64(st.MemoryBytes)/(1<<20), st.Mapped, st.Directed, st.Compressed, cacheCap)
 	installReload(s)
-	fmt.Printf("serving on %s (GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, POST /reload, GET /healthz, GET /metrics)\n", addr)
+	endpoints := "GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, POST /reload, GET /healthz, GET /metrics"
+	if graphPath != "" {
+		endpoints += ", POST /update, POST /compact"
+	}
+	fmt.Printf("serving on %s (%s)\n", addr, endpoints)
 	log.Fatal(http.ListenAndServe(addr, s.Handler()))
+}
+
+// loadGraph reads the base graph for dynamic updates: DIMACS .gr by
+// extension, 0-indexed edge list otherwise, with the directedness the
+// served index was built with.
+func loadGraph(path string, directed bool) (*chl.Graph, error) {
+	if strings.HasSuffix(path, ".gr") {
+		return chl.ReadDIMACSFile(path, directed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return chl.ReadEdgeList(f, directed)
 }
 
 // runShardServe serves one shard of a split cluster: the shard's slice

@@ -84,6 +84,8 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently served /dist and /batch requests; excess shed with 429 (0 disables)")
 		clientQPS    = flag.Float64("client-qps", 0, "per-client sustained requests/second on /dist and /batch, keyed on X-Client-ID or remote host; over-quota requests shed with 429 (0 disables)")
 		clientBurst  = flag.Int("client-burst", 0, "per-client burst on top of -client-qps (default max(1, -client-qps))")
+		graphPath    = flag.String("graph", "", "the graph the cluster's index was built from (.gr DIMACS or edge list) — enables POST /update: the router corrects queries against a delta overlay, shards stay frozen")
+		journalPath  = flag.String("update-journal", "", "with -graph: update journal file — accepted patches are appended before serving and replayed on restart")
 	)
 	flag.Parse()
 
@@ -100,20 +102,34 @@ func main() {
 			groups = append(groups, strings.Split(slot, "|"))
 		}
 	}
+	var baseGraph *chl.Graph
+	if *graphPath != "" {
+		if baseGraph, err = loadGraph(*graphPath, m.Directed); err != nil {
+			fatal(err)
+		}
+	} else if *journalPath != "" {
+		fatal(fmt.Errorf("-update-journal needs -graph GRAPH to replay against"))
+	}
 	r, err := chl.NewRouter(chl.RouterConfig{
-		Manifest:     m,
-		ReplicaAddrs: groups,
-		CacheSize:    *cacheCap,
-		Timeout:      *timeout,
-		EjectAfter:   *ejectAfter,
-		Probation:    *probation,
-		HedgeDelay:   *hedgeAfter,
-		MaxInFlight:  *maxInFlight,
-		ClientQPS:    *clientQPS,
-		ClientBurst:  *clientBurst,
+		Manifest:      m,
+		ReplicaAddrs:  groups,
+		CacheSize:     *cacheCap,
+		Timeout:       *timeout,
+		EjectAfter:    *ejectAfter,
+		Probation:     *probation,
+		HedgeDelay:    *hedgeAfter,
+		MaxInFlight:   *maxInFlight,
+		ClientQPS:     *clientQPS,
+		ClientBurst:   *clientBurst,
+		BaseGraph:     baseGraph,
+		UpdateJournal: *journalPath,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if baseGraph != nil {
+		fmt.Printf("updates: enabled (graph %s, journal %s) — POST /update corrects queries at the router; shards stay frozen\n",
+			*graphPath, *journalPath)
 	}
 	fmt.Printf("cluster: n=%d shards=%d ring-replicas=%d directed=%v cache=%d eject-after=%d probation=%v\n",
 		m.Vertices, m.Shards, m.Replicas, m.Directed, *cacheCap, *ejectAfter, *probation)
@@ -130,8 +146,27 @@ func main() {
 		}
 		fmt.Printf("  shard %d: %s\n", h.ID, strings.Join(states, ", "))
 	}
-	fmt.Printf("routing on %s (GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=&replica=)\n", *serveAddr)
+	endpoints := "GET /dist?u=&v=, POST /batch, GET /paths?u=&v=, GET /knn?u=&k=, POST /matrix, GET /stats, GET /healthz, GET /metrics, POST /reload?shard=&replica="
+	if baseGraph != nil {
+		endpoints += ", POST /update"
+	}
+	fmt.Printf("routing on %s (%s)\n", *serveAddr, endpoints)
 	log.Fatal(http.ListenAndServe(*serveAddr, r.Handler()))
+}
+
+// loadGraph reads the base graph for dynamic updates: DIMACS .gr by
+// extension, 0-indexed edge list otherwise, with the cluster's
+// directedness from the manifest.
+func loadGraph(path string, directed bool) (*chl.Graph, error) {
+	if strings.HasSuffix(path, ".gr") {
+		return chl.ReadDIMACSFile(path, directed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return chl.ReadEdgeList(f, directed)
 }
 
 func fatal(err error) {

@@ -184,6 +184,28 @@
 // in-memory Dijkstra oracle across every cell of the deployment
 // matrix. ARCHITECTURE.md ("Query workloads") has the design.
 //
+// # Dynamic updates
+//
+// Server.EnableUpdates(graph, journal) layers a delta overlay
+// (internal/delta) over the frozen index so POST /update serves exact
+// answers for a mutated graph without a rebuild: edge patches ("add u v
+// w" / "del u v" / "set u v w" lines, ParsePatchLog) reduce against the
+// base graph, and every query becomes the min of the frozen label join
+// and a corrected path — a Dijkstra over the patch vertices seeded by
+// frozen distances, falling back to an exact search whenever a frozen
+// seed might thread a removed edge. Untouched pairs stay bit-identical;
+// corrected answers that lose the frozen witness report hub -1. Each
+// accepted batch is journaled-ahead (replayed on restart), advances the
+// overlay epoch, and retires the answer caches exactly once — the epoch
+// extends the snapshot identity and the router's singleflight keys the
+// same way content hashes do. In a cluster the router owns the overlay
+// (RouterConfig.BaseGraph / UpdateJournal): shards stay frozen and the
+// router corrects locally against pinned patch-vertex label rows, even
+// for same-shard pairs. POST /compact folds the patches into a fresh
+// snapshot — rebuild over the patched graph, rename, hot-swap with zero
+// dropped queries, truncate the journal. ARCHITECTURE.md ("Dynamic
+// updates") has the correction math and the operator rules.
+//
 // # Distributed execution
 //
 // The paper runs on a 64-node MPI cluster. This package simulates that

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/delta"
 	"repro/internal/graph"
 )
 
@@ -84,6 +85,33 @@ func ReadEdgeList(r io.Reader, directed bool) (*Graph, error) {
 
 // WriteEdgeList writes a graph as a 0-indexed edge list.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// EdgeOp is one edge operation in a patch log: insert (add u v w),
+// delete (del u v), or reweight (set u v w). See EdgeOpAdd/Del/Set and
+// ParsePatchLog for the text format the /update endpoint accepts.
+type EdgeOp = delta.Op
+
+// Edge-operation kinds for constructing EdgeOps programmatically.
+const (
+	EdgeOpAdd = delta.OpAdd
+	EdgeOpDel = delta.OpDel
+	EdgeOpSet = delta.OpSet
+)
+
+// ParsePatchLog parses the text patch-log format: one op per line —
+// "add u v w", "del u v", "set u v w" — blank lines and '#' comments
+// ignored. This is the body format of POST /update and the on-disk
+// format of the update journal.
+func ParsePatchLog(b []byte) ([]EdgeOp, error) { return delta.ParsePatchLog(b) }
+
+// FormatPatchLog renders ops in the text format ParsePatchLog reads.
+func FormatPatchLog(ops []EdgeOp) []byte { return delta.FormatPatchLog(ops) }
+
+// ApplyPatch applies a patch log to a graph and returns the patched
+// graph. Ops are validated in order: add requires the edge absent,
+// del/set require it present. Compaction folds an overlay into a fresh
+// index by rebuilding over exactly this graph.
+func ApplyPatch(g *Graph, ops []EdgeOp) (*Graph, error) { return delta.ApplyPatch(g, ops) }
 
 // LargestComponent returns the subgraph induced by the largest (weakly)
 // connected component and the mapping from new ids to the originals.

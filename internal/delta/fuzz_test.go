@@ -1,0 +1,64 @@
+package delta
+
+import (
+	"testing"
+)
+
+// fuzzSeeds is the regression corpus for the patch-log parser: every
+// op kind, comments, blank lines, float weights, and a spread of the
+// malformed shapes the parser must reject without panicking.
+var fuzzSeeds = []string{
+	"",
+	"add 1 2 3\n",
+	"del 4 5\n",
+	"set 0 9 7.25\n",
+	"# comment only\n\n",
+	"add 1 2 3 # trailing\ndel 1 2\n",
+	"add 1 2 3.5e2\n",
+	"add 0 1 0.0001\nset 0 1 1e9\ndel 0 1\n",
+	"frob 1 2 3\n",
+	"add 1 2\n",
+	"add -1 2 3\n",
+	"add 1 1 3\n",
+	"add 1 2 -5\n",
+	"add 1 2 NaN\n",
+	"add 1 2 Inf\n",
+	"add 99999999999999999999 2 3\n",
+	"set one two three\n",
+	"\x00\xff\n",
+}
+
+// FuzzParsePatchLog drives the patch-log parser with arbitrary bytes:
+// it must never panic, and on accepted input the canonical rendering
+// must round-trip to the same ops (parse ∘ format ∘ parse = parse).
+func FuzzParsePatchLog(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := ParsePatchLog(data)
+		if err != nil {
+			return
+		}
+		for _, op := range ops {
+			if op.U < 0 || op.V < 0 || op.U == op.V {
+				t.Fatalf("accepted op with bad endpoints: %+v", op)
+			}
+			if op.Kind != OpDel && !(op.W > 0) {
+				t.Fatalf("accepted op with non-positive weight: %+v", op)
+			}
+		}
+		again, err := ParsePatchLog(FormatPatchLog(ops))
+		if err != nil {
+			t.Fatalf("canonical rendering failed to re-parse: %v", err)
+		}
+		if len(again) != len(ops) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(ops), len(again))
+		}
+		for i := range ops {
+			if again[i] != ops[i] {
+				t.Fatalf("round trip changed op %d: %+v -> %+v", i, ops[i], again[i])
+			}
+		}
+	})
+}

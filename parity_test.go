@@ -52,18 +52,27 @@ type parityStack struct {
 
 // parityStacks starts all three topologies over fx: the single-process
 // server, a 3-shard cluster, and a 2×2 replicated cluster. Listeners
-// and serving processes are torn down by t.Cleanup.
-func parityStacks(t *testing.T, fx *chl.FlatIndex) []parityStack {
+// and serving processes are torn down by t.Cleanup. A non-nil g enables
+// dynamic updates on every stack (EnableUpdates on the flat server,
+// RouterConfig.BaseGraph on the clusters) so the patched parity pass
+// can POST /update to each.
+func parityStacks(t *testing.T, fx *chl.FlatIndex, g *chl.Graph) []parityStack {
 	t.Helper()
 	flat := chl.NewServerFromFlat(fx, 1<<12)
+	if g != nil {
+		if err := flat.EnableUpdates(g, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
 	flatTS := httptest.NewServer(flat.Handler())
 	t.Cleanup(func() { flatTS.Close(); flat.Close() })
 
-	sharded := newTestCluster(t, fx, clusterSpec{shards: 3, cacheSize: 1 << 12})
+	tweak := func(cfg *chl.RouterConfig) { cfg.BaseGraph = g }
+	sharded := newTestCluster(t, fx, clusterSpec{shards: 3, cacheSize: 1 << 12, tweak: tweak})
 	shardedTS := httptest.NewServer(sharded.router.Handler())
 	t.Cleanup(func() { shardedTS.Close(); sharded.close() })
 
-	replicated := newTestCluster(t, fx, clusterSpec{shards: 2, replicas: 2, cacheSize: 1 << 12})
+	replicated := newTestCluster(t, fx, clusterSpec{shards: 2, replicas: 2, cacheSize: 1 << 12, tweak: tweak})
 	replicatedTS := httptest.NewServer(replicated.router.Handler())
 	t.Cleanup(func() { replicatedTS.Close(); replicated.close() })
 
@@ -71,6 +80,77 @@ func parityStacks(t *testing.T, fx *chl.FlatIndex) []parityStack {
 		{"flat", flatTS.URL},
 		{"sharded", shardedTS.URL},
 		{"replicated", replicatedTS.URL},
+	}
+}
+
+// parityPatchOps derives a deterministic patch batch from g exercising
+// all three op kinds: deletions and reweights of existing edges spread
+// across the vertex range, insertions of absent ones. Weights stay
+// small integers so every patched distance remains float32-exact and
+// the parity assertions stay ==.
+func parityPatchOps(g *chl.Graph) []chl.EdgeOp {
+	n := g.NumVertices()
+	var dels, sets []chl.EdgeOp
+	for step := 0; step < n && len(dels)+len(sets) < 6; step++ {
+		u := (step * 61) % n
+		heads, _ := g.Neighbors(u)
+		for _, h := range heads {
+			v := int(h)
+			if u == v || (!g.Directed() && v < u) {
+				continue
+			}
+			if len(dels) < 3 {
+				dels = append(dels, chl.EdgeOp{Kind: chl.EdgeOpDel, U: u, V: v})
+			} else if len(sets) < 3 {
+				sets = append(sets, chl.EdgeOp{Kind: chl.EdgeOpSet, U: u, V: v, W: float64(2 + step%7)})
+			}
+			break // at most one op per source vertex
+		}
+	}
+	taken := map[[2]int]bool{}
+	for _, op := range dels {
+		taken[[2]int{op.U, op.V}] = true
+	}
+	for _, op := range sets {
+		taken[[2]int{op.U, op.V}] = true
+	}
+	var adds []chl.EdgeOp
+	for i := 1; len(adds) < 3 && i < 4*n; i++ {
+		u, v := (i*53)%n, (i*97+29)%n
+		if u == v || taken[[2]int{u, v}] || taken[[2]int{v, u}] {
+			continue
+		}
+		if _, has := g.HasEdge(u, v); has {
+			continue
+		}
+		if !g.Directed() {
+			if _, has := g.HasEdge(v, u); has {
+				continue
+			}
+		}
+		taken[[2]int{u, v}] = true
+		taken[[2]int{v, u}] = true
+		adds = append(adds, chl.EdgeOp{Kind: chl.EdgeOpAdd, U: u, V: v, W: float64(1 + i%6)})
+	}
+	ops := append(append(dels, sets...), adds...)
+	if len(ops) == 0 {
+		panic("parityPatchOps: fixture graph yielded no ops")
+	}
+	return ops
+}
+
+// postUpdate POSTs ops as a text patch log to the stack's /update.
+func postUpdate(t *testing.T, base string, ops []chl.EdgeOp) {
+	t.Helper()
+	resp, err := http.Post(base+"/update", "text/plain", bytes.NewReader(chl.FormatPatchLog(ops)))
+	if err != nil {
+		t.Fatalf("POST /update: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		t.Fatalf("POST /update: status %d: %s", resp.StatusCode, body.String())
 	}
 }
 
@@ -340,12 +420,33 @@ func TestWorkloadParityMatrix(t *testing.T) {
 				pairs = append(pairs, [2]int{5, 5})
 				sources := []int{0, 7 % n, (n / 2) % n, n - 1}
 				targets := []int{1, 3 % n, (n / 3) % n, (2 * n / 3) % n, n - 2, n - 1}
-				for _, st := range parityStacks(t, fx) {
+
+				// The patched pass mutates the serving state, so its
+				// oracle is a fresh Dijkstra over the patched graph.
+				ops := parityPatchOps(f.g)
+				patched, err := chl.ApplyPatch(f.g, ops)
+				if err != nil {
+					t.Fatalf("applying parity patch: %v", err)
+				}
+				po := newParityOracle(patched)
+
+				for _, st := range parityStacks(t, fx, f.g) {
 					t.Run(st.name, func(t *testing.T) {
 						checkDistParity(t, st.base, o, pairs)
 						checkPathsParity(t, st.base, o, pairs[:24])
 						checkKNNParity(t, st.base, o, n, sources, []int{1, 3, 9, n})
 						checkMatrixParity(t, st.base, o, sources, targets)
+
+						// Patched pass: POST the edge updates, then every
+						// workload must answer from the mutated graph —
+						// same == assertions, new oracle. No rebuild
+						// happened; the stack serves frozen labels plus
+						// the delta overlay correction.
+						postUpdate(t, st.base, ops)
+						checkDistParity(t, st.base, po, pairs)
+						checkPathsParity(t, st.base, po, pairs[:24])
+						checkKNNParity(t, st.base, po, n, sources, []int{1, 3, 9, n})
+						checkMatrixParity(t, st.base, po, sources, targets)
 					})
 				}
 			})

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/delta"
 	"repro/internal/label"
 	"repro/internal/query"
 )
@@ -408,7 +409,8 @@ func (fx *FlatIndex) Thaw() *Index {
 type BatchEngine struct {
 	fx      *FlatIndex
 	workers int
-	cache   *Cache // nil: uncached (the default)
+	cache   *Cache         // nil: uncached (the default)
+	ov      *delta.Overlay // nil: frozen index only (the default)
 }
 
 // NewBatchEngine freezes ix (directed or undirected) and returns a
@@ -456,10 +458,28 @@ func newCacheFor(fx *FlatIndex, capacity int) *Cache {
 // Cache returns the engine's attached cache, or nil.
 func (e *BatchEngine) Cache() *Cache { return e.cache }
 
+// SetOverlay attaches a delta overlay to the engine (nil detaches).
+// With an overlay attached, every query routes through the corrected
+// path: the frozen join plus the overlay's patch-seeded correction
+// Dijkstra, falling back to an exact patched-graph Dijkstra for the
+// pairs the correction cannot certify. An attached cache must be
+// scoped to exactly one (index, overlay) pair — Server and Router
+// start a fresh cache on every patch batch, which is what keeps
+// pre-patch answers from outliving the graph they were true of.
+func (e *BatchEngine) SetOverlay(ov *delta.Overlay) {
+	if ov != nil && ov.Empty() {
+		ov = nil
+	}
+	e.ov = ov
+}
+
+// Overlay returns the engine's attached delta overlay, or nil.
+func (e *BatchEngine) Overlay() *delta.Overlay { return e.ov }
+
 // Query answers one query (original ids), through the cache when one is
 // attached.
 func (e *BatchEngine) Query(u, v int) float64 {
-	if e.cache == nil {
+	if e.cache == nil && e.ov == nil {
 		return e.fx.Query(u, v)
 	}
 	d, _, _ := e.QueryHub(u, v)
@@ -474,11 +494,81 @@ func (e *BatchEngine) QueryHub(u, v int) (dist float64, hub int, ok bool) {
 			return a.Dist, a.Hub, a.Reachable
 		}
 	}
-	dist, hub, ok = e.fx.QueryHub(u, v)
+	if e.ov != nil {
+		dist, hub, ok = e.queryHubPatched(u, v)
+	} else {
+		dist, hub, ok = e.fx.QueryHub(u, v)
+	}
 	if e.cache != nil {
 		e.cache.Put(u, v, Answer{Dist: dist, Hub: hub, Reachable: ok})
 	}
 	return dist, hub, ok
+}
+
+// queryHubPatched answers one query against the patched graph: the
+// frozen join supplies the trunk distance and the patch-vertex seeds,
+// the overlay's correction Dijkstra folds the patched edges in, and
+// pairs the correction cannot certify fall back to an exact Dijkstra
+// on the materialized patched graph. The witness hub survives only
+// when the overlay proves the frozen answer still exact (the frozen
+// flag); otherwise the hub is -1 — no hub in the frozen labels is
+// guaranteed to lie on a patched shortest path.
+func (e *BatchEngine) queryHubPatched(u, v int) (dist float64, hub int, ok bool) {
+	d0, h0, ok0 := e.fx.QueryHub(u, v)
+	if !ok0 {
+		d0 = Infinity
+	}
+	if u == v {
+		d0, h0, ok0 = 0, u, true
+	}
+	du, dv := e.patchSeeds(u, v)
+	dist, frozen, exact := e.ov.Correct(d0, du, dv)
+	if !exact {
+		dist = mustOverlayDist(e.ov, u, v)
+		frozen = false
+	}
+	if dist >= Infinity {
+		return Infinity, 0, false
+	}
+	if frozen && ok0 {
+		return dist, h0, true
+	}
+	return dist, -1, true
+}
+
+// patchSeeds computes the frozen seed vectors for one pair against the
+// overlay's patch vertices: du[i] = frozen d(u, p_i), dv[i] = frozen
+// d(p_i, v), in the overlay's vertex order.
+func (e *BatchEngine) patchSeeds(u, v int) (du, dv []float64) {
+	verts := e.ov.Verts()
+	du = make([]float64, len(verts))
+	dv = make([]float64, len(verts))
+	for i, p := range verts {
+		du[i] = e.frozenDist(u, p)
+		dv[i] = e.frozenDist(p, v)
+	}
+	return du, dv
+}
+
+// frozenDist is one frozen-label distance with the diagonal pinned to
+// zero (a join of a vertex with itself always reports 0, but pinning
+// it keeps the seed vectors independent of label contents).
+func (e *BatchEngine) frozenDist(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return e.fx.Query(a, b)
+}
+
+// mustOverlayDist is Overlay.Dist for overlays past construction: the
+// patched graph was materialized (and validated) when the overlay was
+// built, so a failure here means a corrupted overlay, not bad input.
+func mustOverlayDist(ov *delta.Overlay, u, v int) float64 {
+	d, err := ov.Dist(u, v)
+	if err != nil {
+		panic(fmt.Sprintf("chl: overlay epoch %d failed to answer (%d,%d) on its own patched graph: %v", ov.Epoch(), u, v, err))
+	}
+	return d
 }
 
 // Batch answers every pair and returns the distances in order.
@@ -532,6 +622,17 @@ const hashServeMaxVertices = 1 << 17
 // backward(v) hub join — one cache and scratch-size policy for both.
 func (e *BatchEngine) serveRange(dst []float64, pairs []QueryPair, lo, hi int) {
 	fx := e.fx
+	if e.ov != nil {
+		// Patched serving: every pair routes through the corrected
+		// single-pair path (cache-aware when a cache is attached). The
+		// zero-allocation kernels below join frozen labels only, so they
+		// cannot see patched edges; the worker fan-out still applies.
+		for i := lo; i < hi; i++ {
+			d, _, _ := e.QueryHub(pairs[i].U, pairs[i].V)
+			dst[i] = d
+		}
+		return
+	}
 	// Compressed indexes have one kernel (the block-skipping merge); the
 	// hash-join cutoff below only applies to fixed-width stores.
 	hashServe := !fx.Compressed() && fx.NumVertices() <= hashServeMaxVertices

@@ -132,6 +132,20 @@ type Router struct {
 	resolveBatches atomic.Int64 // /shardquery resolve round trips
 	start          time.Time
 
+	// Dynamic-update state (RouterConfig.BaseGraph / UpdateJournal):
+	// baseGraph is the graph the cluster's shard files were built from;
+	// patchOps is the patch log accumulated so far, guarded by patchMu
+	// along with patchBatches. journalLoaded flips once the journal has
+	// been replayed — lazily, on the first query or update, because
+	// NewRouter must not contact shards (replay pins patch-vertex rows).
+	baseGraph     *Graph
+	journal       string
+	patchMu       sync.Mutex
+	patchOps      []EdgeOp
+	patchBatches  uint64
+	journalLoaded atomic.Bool
+	updates       atomic.Int64
+
 	// Per-replica witness-resolution batchers (resolveRankOn): conflates
 	// concurrent rank resolutions pinned to one replica into single
 	// batched /shardquery calls. Keyed by replica pointer, so the map is
@@ -162,6 +176,23 @@ type Router struct {
 type routerState struct {
 	idents [][]genObs // [shard][replica]
 	cache  *Cache
+	// patch is the outstanding delta overlay plus its pinned patch-vertex
+	// label rows (nil when no edge updates are outstanding). It rides the
+	// state pointer so a patch batch swaps overlay and cache in one
+	// atomic publish: every query sees a coherent (overlay, cache) pair,
+	// and the fresh cache instance is the patch-epoch discriminant that
+	// retires pre-patch answers exactly once per batch.
+	patch *routerPatch
+}
+
+// patchEpoch returns the state's overlay epoch (0 = no outstanding
+// patches) — the discriminant mixed into singleflight keys so a flight
+// computed before a patch batch cannot feed a query arriving after it.
+func (st *routerState) patchEpoch() uint64 {
+	if st.patch == nil {
+		return 0
+	}
+	return st.patch.ov.Epoch()
 }
 
 // genObs is one observed snapshot identity. hash is the snapshot's
@@ -449,6 +480,16 @@ type RouterConfig struct {
 	// ClientBurst is the per-client burst on top of ClientQPS; <= 0
 	// defaults to max(1, ClientQPS).
 	ClientBurst int
+	// BaseGraph enables dynamic edge updates (POST /update): it must be
+	// the exact graph the cluster's shard files were built from. The
+	// router corrects queries locally against a delta overlay — shards
+	// stay frozen and never see updates. Nil disables updates.
+	BaseGraph *Graph
+	// UpdateJournal names the router's patch journal: accepted batches
+	// are appended (and fsynced) before they serve, and journaled ops
+	// are replayed on the first query after a restart. "" disables
+	// journaling. Requires BaseGraph.
+	UpdateJournal string
 	// Clock overrides the router's time source — hedging, ejection,
 	// probation, quotas, and uptime all read it. Nil means the real
 	// clock; tests inject a FakeClock.
@@ -512,6 +553,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if hedgeDelay < 0 {
 		hedgeDelay = 0
 	}
+	if cfg.UpdateJournal != "" && cfg.BaseGraph == nil {
+		return nil, fmt.Errorf("chl: UpdateJournal requires BaseGraph — the journal is replayed against it")
+	}
+	if cfg.BaseGraph != nil {
+		if cfg.BaseGraph.NumVertices() != cfg.Manifest.Vertices {
+			return nil, fmt.Errorf("chl: base graph has %d vertices but the manifest says %d — not the graph this cluster was built from?", cfg.BaseGraph.NumVertices(), cfg.Manifest.Vertices)
+		}
+		if cfg.BaseGraph.Directed() != cfg.Manifest.Directed {
+			return nil, fmt.Errorf("chl: base graph directedness (%v) does not match the manifest (%v)", cfg.BaseGraph.Directed(), cfg.Manifest.Directed)
+		}
+	}
 	r := &Router{
 		n:           cfg.Manifest.Vertices,
 		part:        part,
@@ -524,8 +576,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		hedgeDelay:  hedgeDelay,
 		maxInFlight: int64(cfg.MaxInFlight),
 		quota:       newQuotaLimiter(clock, cfg.ClientQPS, cfg.ClientBurst),
-		metrics:     newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix", "/stats", "/reload", "/healthz"),
+		metrics:     newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix", "/stats", "/reload", "/update", "/healthz"),
 		start:       clock.Now(),
+		baseGraph:   cfg.BaseGraph,
+		journal:     cfg.UpdateJournal,
+	}
+	if r.journal == "" {
+		r.journalLoaded.Store(true) // nothing to replay; skip the mutex fast path
 	}
 	idents := make([][]genObs, len(groups))
 	for i, group := range groups {
@@ -595,6 +652,9 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 	if v < 0 || v >= r.n {
 		return 0, 0, false, &VertexRangeError{ID: v, N: r.n}
 	}
+	if err := r.ensurePatch(); err != nil {
+		return 0, 0, false, err
+	}
 	st := r.state.Load()
 	if st.cache != nil {
 		if a, hit := st.cache.Get(u, v); hit && (!needHub || a.Hub != hubUnknown || !a.Reachable) {
@@ -607,8 +667,11 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 	if !r.directed && ku > kv {
 		ku, kv = kv, ku
 	}
-	key := flightKey{pair: uint64(uint32(ku))<<32 | uint64(uint32(kv)), hub: needHub}
+	key := flightKey{pair: uint64(uint32(ku))<<32 | uint64(uint32(kv)), hub: needHub, pepoch: st.patchEpoch()}
 	res := r.flights.do(key, func() { r.collapsed.Add(1) }, func() flightResult {
+		if st.patch != nil {
+			return r.routePatchedQueryHub(st, u, v, needHub)
+		}
 		return r.routeQueryHub(st, u, v, needHub)
 	})
 	if res.err != nil {
@@ -648,8 +711,26 @@ func (r *Router) routeQueryHub(st *routerState, u, v int, needHub bool) flightRe
 // concurrently; each shard request load-balances and fails over within
 // the shard's replica group independently.
 func (r *Router) Batch(pairs []QueryPair) ([]float64, error) {
+	if err := r.ensurePatch(); err != nil {
+		return nil, err
+	}
 	dists := make([]float64, len(pairs))
 	st := r.state.Load()
+
+	// Under a delta overlay every pair needs the seeded correction; the
+	// batch row-join fast path below answers from frozen labels only, so
+	// it is bypassed — each pair runs the (cached, collapsed) corrected
+	// single-query path instead.
+	if st.patch != nil {
+		for i, p := range pairs {
+			d, _, _, err := r.queryHub(p.U, p.V, false)
+			if err != nil {
+				return nil, err
+			}
+			dists[i] = d
+		}
+		return dists, nil
+	}
 
 	// Cache pass; pending collects the misses.
 	pending := make([]int, 0, len(pairs))
@@ -955,6 +1036,7 @@ func (r *Router) noteGenerations(obs map[repRef]genObs) {
 		next := &routerState{
 			idents: make([][]genObs, len(st.idents)),
 			cache:  st.cache,
+			patch:  st.patch,
 		}
 		for i, group := range st.idents {
 			next.idents[i] = append([]genObs(nil), group...)
@@ -1690,8 +1772,10 @@ type RouterStats struct {
 	Shed           int64              `json:"shed_total"`
 	ResolveBatches int64              `json:"resolve_batches_total"`
 	ResolveRanks   int64              `json:"resolve_ranks_total"`
+	Updates        int64              `json:"updates_total"`
 	UptimeSeconds  float64            `json:"uptime_seconds"`
 	Cache          *CacheStats        `json:"cache,omitempty"`
+	Patch          *PatchStats        `json:"patch,omitempty"` // outstanding delta overlay, nil when none
 }
 
 // Stats reports the router's counters and its view of the cluster.
@@ -1708,7 +1792,12 @@ func (r *Router) Stats() RouterStats {
 		Shed:           r.shed.Load(),
 		ResolveBatches: r.resolveBatches.Load(),
 		ResolveRanks:   r.resolveRanks.Load(),
+		Updates:        r.updates.Load(),
 		UptimeSeconds:  r.clock.Now().Sub(r.start).Seconds(),
+	}
+	if p := r.state.Load().patch; p != nil {
+		ps := p.ov.Stat()
+		out.Patch = &ps
 	}
 	for _, c := range r.shards {
 		ss := RouterShardStats{ID: c.id, Addr: c.reps[0].addr}
@@ -1764,6 +1853,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/stats", r.metrics.wrap("/stats", r.handleStats))
 	mux.HandleFunc("/healthz", r.metrics.wrap("/healthz", r.handleHealthz))
 	mux.HandleFunc("/reload", r.metrics.wrap("/reload", r.handleReload))
+	mux.HandleFunc("/update", r.metrics.wrap("/update", r.handleUpdate))
 	mux.HandleFunc("/metrics", r.handleMetrics)
 	return mux
 }

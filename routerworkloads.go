@@ -31,6 +31,23 @@ func (r *Router) Path(u, v int) (dist float64, path []int, reachable bool, err e
 	if v < 0 || v >= r.n {
 		return 0, nil, false, &VertexRangeError{ID: v, N: r.n}
 	}
+	if err := r.ensurePatch(); err != nil {
+		return 0, nil, false, err
+	}
+	// Under a delta overlay witness-hub expansion is unavailable (frozen
+	// hubs need not lie on patched shortest paths), so the chain comes
+	// from an exact predecessor Dijkstra on the patched graph — the same
+	// fallback the engine tier takes (see BatchEngine.Path).
+	if st := r.state.Load(); st.patch != nil {
+		path, dist, err := st.patch.ov.ShortestPath(u, v)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if path == nil {
+			return Infinity, nil, false, nil
+		}
+		return dist, path, true, nil
+	}
 	return expandPath(u, v, r.n, func(a, b int) (float64, int, bool, error) {
 		return r.queryHub(a, b, true)
 	})
@@ -52,13 +69,43 @@ func (r *Router) KNN(u, k int) ([]Neighbor, error) {
 	if k < 1 || k > r.n {
 		return nil, fmt.Errorf("chl: k must be in [1,%d], got %d", r.n, k)
 	}
+	if err := r.ensurePatch(); err != nil {
+		return nil, err
+	}
 	r.queries.Add(1)
-	key := flightKey{kind: flightKNN, pair: uint64(uint32(u))<<32 | uint64(uint32(k))}
+	st := r.state.Load()
+	key := flightKey{kind: flightKNN, pair: uint64(uint32(u))<<32 | uint64(uint32(k)), pepoch: st.patchEpoch()}
 	res := r.flights.do(key, func() { r.collapsed.Add(1) }, func() flightResult {
+		if st.patch != nil {
+			nbs, err := r.routePatchedKNN(st, u, k)
+			return flightResult{neighbors: nbs, err: err}
+		}
 		nbs, err := r.routeKNN(u, k)
 		return flightResult{neighbors: nbs, err: err}
 	})
 	return res.neighbors, res.err
+}
+
+// routePatchedKNN is KNN under a delta overlay: the shard-side inverted
+// scans would rank candidates by frozen distances, so candidates come
+// from an exact patched-graph row instead, and each winner is
+// re-answered through the router's corrected pair path so distance,
+// witness, and the cache deposit agree bit-for-bit with /dist — the
+// same topKFromRow funnel the engine tier uses, which is what keeps the
+// two tiers' /knn responses identical.
+func (r *Router) routePatchedKNN(st *routerState, u, k int) ([]Neighbor, error) {
+	var qerr error
+	out := topKFromRow(mustOverlayRow(st.patch.ov, u), u, k, func(v int) (float64, int, bool) {
+		d, h, ok, err := r.queryHub(u, v, true)
+		if err != nil && qerr == nil {
+			qerr = err
+		}
+		return d, h, ok
+	})
+	if qerr != nil {
+		return nil, qerr
+	}
+	return out, nil
 }
 
 // scanObserver accumulates replica snapshot identities across a
@@ -206,7 +253,30 @@ func (r *Router) Matrix(sources, targets []int, emit func(u int, dists []float64
 			return &VertexRangeError{ID: id, N: r.n}
 		}
 	}
+	if err := r.ensurePatch(); err != nil {
+		return err
+	}
 	r.queries.Add(int64(len(sources)) * int64(len(targets)))
+
+	// Under a delta overlay every cell needs the seeded correction, so
+	// rows come from exact patched single-source Dijkstras projected
+	// onto the target set (the engine tier's exact policy — see
+	// BatchEngine.MatrixRows), preserving the one-row streaming
+	// discipline; the shard-scan fan-out below would answer from frozen
+	// labels.
+	if st := r.state.Load(); st.patch != nil {
+		row := make([]float64, len(targets))
+		for _, u := range sources {
+			full := mustOverlayRow(st.patch.ov, u)
+			for j, t := range targets {
+				row[j] = full[t]
+			}
+			if err := emit(u, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	so := newScanObserver()
 
 	// Source-run prefetch, one /shardquery per owning shard, concurrent.

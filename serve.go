@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/delta"
 	"repro/internal/label"
 	"repro/internal/shard"
 )
@@ -22,20 +24,51 @@ import (
 // runs, so a hostile client cannot make the server buffer gigabytes.
 const maxBatchBytes = 64 << 20
 
+// fxHandle owns one FlatIndex shared by every snapshot generation built
+// over it: the frozen-only generation plus each patch-batch generation
+// layered on the same labels. The index is closed by whichever release
+// drops the handle's count to zero — patch batches swap snapshots
+// without remapping (or double-closing) the file.
+type fxHandle struct {
+	fx        *FlatIndex
+	refs      atomic.Int64
+	closeOnce sync.Once
+}
+
+func newFxHandle(fx *FlatIndex) *fxHandle {
+	h := &fxHandle{fx: fx}
+	h.refs.Store(1)
+	return h
+}
+
+func (h *fxHandle) acquire() *fxHandle {
+	h.refs.Add(1)
+	return h
+}
+
+func (h *fxHandle) release() {
+	if h.refs.Add(-1) == 0 {
+		h.closeOnce.Do(func() { h.fx.Close() })
+	}
+}
+
 // Snapshot is one immutable generation of a served index: a flat index
-// (usually mmap-backed), its batch engine, and a cache born with it.
-// Snapshots are reference-counted: the Server holds one reference while
-// the snapshot is current, and every in-flight query holds one from
-// Acquire to Release. The underlying file mapping is unmapped by
-// whichever Release drops the count to zero — after a hot swap the old
-// generation therefore drains naturally, with no query ever touching
+// (usually mmap-backed), its batch engine, a cache born with it, and —
+// under outstanding edge updates — the delta overlay correcting its
+// frozen answers. Snapshots are reference-counted: the Server holds one
+// reference while the snapshot is current, and every in-flight query
+// holds one from Acquire to Release. The underlying file mapping is
+// unmapped when the last snapshot sharing it drains — after a hot swap
+// the old generation retires naturally, with no query ever touching
 // unmapped memory and no reader ever blocking a reload.
 type Snapshot struct {
+	handle   *fxHandle
 	fx       *FlatIndex
 	eng      *BatchEngine
+	ov       *delta.Overlay // nil: frozen index only
 	path     string
 	gen      uint64
-	ident    uint64 // content hash (FlatIndex.ContentHash), computed at install
+	ident    uint64 // snapshot identity: content hash, mixed with the patch-log hash under an overlay
 	loadedAt time.Time
 
 	refs      atomic.Int64
@@ -56,18 +89,26 @@ func (sn *Snapshot) Generation() uint64 { return sn.gen }
 // server was built from an in-memory index).
 func (sn *Snapshot) Path() string { return sn.path }
 
-// Ident returns the snapshot's content identity (FlatIndex.ContentHash):
-// equal across processes and restarts exactly when the served bytes are
-// equal. Shard servers stamp it on every router-facing response; the
-// router retires its answer cache only when a shard's ident actually
-// changes, so coordinated same-content restarts keep the cache warm.
+// Ident returns the snapshot's content identity: FlatIndex.ContentHash
+// for a frozen snapshot — equal across processes and restarts exactly
+// when the served bytes are equal — mixed with the patch log's hash
+// when a delta overlay is attached, so every patch batch changes the
+// identity exactly once. Shard servers stamp it on every router-facing
+// response; the router retires its answer cache only when a shard's
+// ident actually changes, so coordinated same-content restarts keep
+// the cache warm.
 func (sn *Snapshot) Ident() uint64 { return sn.ident }
 
+// Overlay returns the snapshot's delta overlay (nil when no edge
+// updates are outstanding).
+func (sn *Snapshot) Overlay() *delta.Overlay { return sn.ov }
+
 // Release returns a reference taken by Server.Acquire. The last release
-// of a retired snapshot closes its file mapping.
+// of a retired snapshot drops its index reference; the mapping closes
+// when no generation shares it any longer.
 func (sn *Snapshot) Release() {
 	if sn.refs.Add(-1) == 0 {
-		sn.closeOnce.Do(func() { sn.fx.Close() })
+		sn.closeOnce.Do(func() { sn.handle.release() })
 	}
 }
 
@@ -86,13 +127,26 @@ func (sn *Snapshot) Release() {
 // mappings before they go live.
 type Server struct {
 	cur       atomic.Pointer[Snapshot]
-	mu        sync.Mutex // serializes Reload
+	mu        sync.Mutex // serializes Reload, Update, and Compact
 	cacheSize int
 	gen       atomic.Uint64
 	queries   atomic.Int64
 	reloads   atomic.Int64
 	start     time.Time
 	metrics   *httpMetrics
+
+	// Dynamic-update state (EnableUpdates), all guarded by mu. baseGraph
+	// is the graph the served labels were built from; patchOps is the
+	// patch log accumulated since the last compaction (the journal's
+	// contents); patchBatches counts applied batches and stamps overlay
+	// epochs. The query path never reads these — it sees only the
+	// overlay frozen into the current snapshot.
+	baseGraph    *Graph
+	journal      string
+	patchOps     []EdgeOp
+	patchBatches uint64
+	updates      atomic.Int64
+	compactions  atomic.Int64
 
 	// epoch is a per-process stamp reported alongside the generation on
 	// the router-facing responses. Generations restart at 1 in every
@@ -169,7 +223,7 @@ func newServer(cacheSize int) *Server {
 		epoch:     epoch & (1<<53 - 1),
 		shardID:   -1,
 		metrics: newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix",
-			"/stats", "/reload", "/healthz", "/shardquery", "/shardscan"),
+			"/stats", "/reload", "/update", "/compact", "/healthz", "/shardquery", "/shardscan"),
 	}
 }
 
@@ -263,14 +317,33 @@ func (s *Server) owns(v int) bool {
 // snapshot (dropping the server's reference; the mapping closes when the
 // last in-flight query releases).
 func (s *Server) install(fx *FlatIndex, path string) *Snapshot {
+	return s.installHandle(newFxHandle(fx), path, nil)
+}
+
+// installHandle publishes one generation over an index handle: a fresh
+// handle for loads and compactions, the current snapshot's own
+// (re-acquired) handle for patch batches, which swap generations
+// without remapping the file. Every generation is born with a fresh
+// cache — under an overlay the cache instance is the patch-epoch
+// discriminant, so pre-patch answers can never outlive the graph they
+// were true of.
+func (s *Server) installHandle(h *fxHandle, path string, ov *delta.Overlay) *Snapshot {
+	fx := h.fx
 	eng := NewBatchEngineFlat(fx)
 	eng.SetCache(newCacheFor(fx, s.cacheSize))
+	eng.SetOverlay(ov)
+	ident := fx.ContentHash()
+	if ov != nil && !ov.Empty() {
+		ident = mixIdent(ident, ov.Hash())
+	}
 	sn := &Snapshot{
+		handle:   h,
 		fx:       fx,
 		eng:      eng,
+		ov:       eng.Overlay(),
 		path:     path,
 		gen:      s.gen.Add(1),
-		ident:    fx.ContentHash(),
+		ident:    ident,
 		loadedAt: time.Now(),
 	}
 	sn.refs.Store(1) // the server's own reference
@@ -278,6 +351,31 @@ func (s *Server) install(fx *FlatIndex, path string) *Snapshot {
 		old.Release()
 	}
 	return sn
+}
+
+// mixIdent folds the patch log's hash into a snapshot's content
+// identity: same FNV-1a over both words, truncated to the same 53 bits
+// every identity here lives in (JSON consumers decode into float64),
+// never zero. Two servers serving the same index under the same patch
+// log agree; any patch batch moves the identity exactly once.
+func mixIdent(base, patch uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, x := range [2]uint64{base, patch} {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	h &= 1<<53 - 1
+	if h == 0 {
+		h = 1
+	}
+	return h
 }
 
 // Acquire returns the current snapshot with a reference held; the caller
@@ -322,6 +420,9 @@ func (s *Server) Reload(path string) (uint64, error) {
 func (s *Server) reload(path string) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(s.patchOps) > 0 {
+		return nil, fmt.Errorf("chl: %d edge updates are outstanding; compact (POST /compact) before reloading — a reload would silently drop them", len(s.patchOps))
+	}
 	if path == "" {
 		cur := s.cur.Load()
 		if cur == nil {
@@ -347,6 +448,20 @@ func (s *Server) reload(path string) (*Snapshot, error) {
 			return nil, fmt.Errorf("chl: reload %s rejected: %w", path, err)
 		}
 	}
+	// An updates-enabled server's base graph must keep describing the
+	// served labels: a reload may swap in a rebuild of the same graph
+	// (same vertex space, same directedness — compaction writes exactly
+	// that), not an arbitrary other index.
+	if s.baseGraph != nil {
+		if n := fx.NumVertices(); n != s.baseGraph.NumVertices() {
+			fx.Close()
+			return nil, fmt.Errorf("chl: reload %s rejected: index covers %d vertices but updates are enabled over a %d-vertex base graph", path, n, s.baseGraph.NumVertices())
+		}
+		if fx.Directed() != s.baseGraph.Directed() {
+			fx.Close()
+			return nil, fmt.Errorf("chl: reload %s rejected: index directed=%v but updates are enabled over a directed=%v base graph", path, fx.Directed(), s.baseGraph.Directed())
+		}
+	}
 	if s.prefault.Load() {
 		// Fault the new mapping in while the old generation still serves;
 		// the swap below then publishes an already-warm snapshot.
@@ -368,6 +483,175 @@ func (s *Server) Close() error {
 		sn.Release()
 	}
 	return nil
+}
+
+// EnableUpdates turns on dynamic edge updates (POST /update): g must be
+// the exact graph the served labels were built from — the correction
+// machinery seeds patched-graph Dijkstras with frozen label distances,
+// so a mismatched graph silently corrupts answers. journalPath, when
+// non-empty, names the patch journal: every accepted batch is appended
+// (and fsynced) before it is served, and any ops already in the journal
+// are replayed now, so a restarted server resumes exactly the patched
+// state it last acknowledged. Shard servers cannot enable updates —
+// corrections need the whole vertex space, so the update path lives on
+// plain servers and the Router.
+func (s *Server) EnableUpdates(g *Graph, journalPath string) error {
+	if g == nil {
+		return fmt.Errorf("chl: EnableUpdates needs the base graph the served index was built from")
+	}
+	if s.part != nil {
+		return fmt.Errorf("chl: shard servers cannot serve updates; enable them on the cluster's router instead")
+	}
+	sn := s.Acquire()
+	n, directed := sn.fx.NumVertices(), sn.fx.Directed()
+	sn.Release()
+	if g.NumVertices() != n {
+		return fmt.Errorf("chl: base graph covers %d vertices but the served index covers %d", g.NumVertices(), n)
+	}
+	if g.Directed() != directed {
+		return fmt.Errorf("chl: base graph directed=%v but the served index directed=%v", g.Directed(), directed)
+	}
+	s.mu.Lock()
+	s.baseGraph, s.journal = g, journalPath
+	s.mu.Unlock()
+	if journalPath != "" {
+		ops, err := delta.ReadJournal(journalPath)
+		if err != nil {
+			return fmt.Errorf("chl: reading update journal: %w", err)
+		}
+		if len(ops) > 0 {
+			if _, err := s.applyOps(ops, false); err != nil {
+				return fmt.Errorf("chl: replaying update journal %s: %w", journalPath, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Update applies a batch of edge operations: the ops are validated
+// against the patched graph so far, journaled (when a journal is
+// configured), folded into a fresh delta overlay, and published as a
+// new snapshot generation sharing the current frozen index — queries
+// in flight finish on the generation they started on, and every query
+// from here on is overlay-corrected. Returns the installed snapshot's
+// generation.
+func (s *Server) Update(ops []EdgeOp) (uint64, error) {
+	sn, err := s.applyOps(ops, true)
+	if err != nil {
+		return 0, err
+	}
+	return sn.gen, nil
+}
+
+// applyOps folds ops onto the outstanding patch log and publishes the
+// resulting overlay. journal=false replays already-journaled ops
+// (EnableUpdates) without re-appending them.
+func (s *Server) applyOps(ops []EdgeOp, journal bool) (*Snapshot, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("chl: empty update batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseGraph == nil {
+		return nil, fmt.Errorf("chl: updates are not enabled on this server (EnableUpdates, or start with -graph)")
+	}
+	combined := make([]EdgeOp, 0, len(s.patchOps)+len(ops))
+	combined = append(append(combined, s.patchOps...), ops...)
+	red, err := delta.Reduce(s.baseGraph, combined)
+	if err != nil {
+		return nil, err
+	}
+	cur := s.cur.Load()
+	if cur == nil {
+		return nil, fmt.Errorf("chl: Server used after Close")
+	}
+	fx := cur.fx
+	ov, err := delta.NewOverlay(red, combined, s.patchBatches+1, func(u, v int) float64 {
+		return fx.Query(u, v)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Journal-ahead: the batch is durable before any query can observe
+	// it, so a crash between here and the swap replays to a state at
+	// least as new as anything a client saw acknowledged.
+	if journal && s.journal != "" {
+		if err := delta.AppendJournal(s.journal, ops); err != nil {
+			return nil, fmt.Errorf("chl: journaling update: %w", err)
+		}
+	}
+	s.patchOps, s.patchBatches = combined, s.patchBatches+1
+	s.updates.Add(1)
+	return s.installHandle(cur.handle.acquire(), cur.path, ov), nil
+}
+
+// Compact folds the outstanding patch log into a fresh frozen index:
+// rebuild over the patched graph, freeze (compressed when the retiring
+// snapshot was), persist to path when given (atomic rename; path ""
+// reuses the retiring snapshot's file, or stays in memory when it had
+// none), then hot-swap — the patched graph becomes the new base, the
+// overlay disappears, and the journal is truncated. Queries keep
+// flowing on the overlay generation for the whole rebuild; only other
+// reloads/updates/compactions serialize behind it. Returns the new
+// generation.
+func (s *Server) Compact(path string) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseGraph == nil {
+		return 0, fmt.Errorf("chl: updates are not enabled on this server")
+	}
+	if len(s.patchOps) == 0 {
+		return 0, fmt.Errorf("chl: nothing to compact: no edge updates are outstanding")
+	}
+	patched, err := delta.ApplyPatch(s.baseGraph, s.patchOps)
+	if err != nil {
+		return 0, err
+	}
+	ix, err := Build(patched, Options{})
+	if err != nil {
+		return 0, fmt.Errorf("chl: compaction rebuild: %w", err)
+	}
+	cur := s.cur.Load()
+	if cur == nil {
+		return 0, fmt.Errorf("chl: Server used after Close")
+	}
+	var fx *FlatIndex
+	if cur.fx.Compressed() {
+		fx, err = ix.FreezeCompressed()
+	} else {
+		fx, err = ix.Freeze()
+	}
+	if err != nil {
+		return 0, fmt.Errorf("chl: compaction freeze: %w", err)
+	}
+	if path == "" {
+		path = cur.path
+	}
+	if path != "" {
+		tmp := path + ".compact.tmp"
+		if err := fx.SaveFile(tmp); err != nil {
+			return 0, fmt.Errorf("chl: compaction save: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return 0, fmt.Errorf("chl: compaction rename: %w", err)
+		}
+		if fx, err = OpenFlat(path); err != nil {
+			return 0, fmt.Errorf("chl: compaction reopen: %w", err)
+		}
+	}
+	if s.prefault.Load() {
+		fx.Prefault()
+	}
+	sn := s.installHandle(newFxHandle(fx), path, nil)
+	s.baseGraph, s.patchOps = patched, nil
+	if s.journal != "" {
+		if err := delta.TruncateJournal(s.journal); err != nil {
+			return 0, fmt.Errorf("chl: truncating journal after compaction (updates ARE compacted into generation %d; clear %s by hand before restarting): %w", sn.gen, s.journal, err)
+		}
+	}
+	s.compactions.Add(1)
+	return sn.gen, nil
 }
 
 // Query answers one point-to-point query on the current snapshot,
@@ -429,9 +713,17 @@ type ServerStats struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Queries       int64       `json:"queries_total"`
 	Reloads       int64       `json:"reloads_total"`
+	Updates       int64       `json:"updates_total,omitempty"`
+	Compactions   int64       `json:"compactions_total,omitempty"`
+	Patch         *PatchStats `json:"patch,omitempty"`
 	Cache         *CacheStats `json:"cache,omitempty"`
 	Shard         *ShardStats `json:"shard,omitempty"`
 }
+
+// PatchStats describes the outstanding delta overlay (see
+// delta.Overlay.Stat): absent from /stats when no updates are
+// outstanding.
+type PatchStats = delta.Stats
 
 // ShardStats identifies a shard server within its cluster.
 type ShardStats struct {
@@ -456,6 +748,12 @@ func (s *Server) Stats() ServerStats {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Reloads:       s.reloads.Load(),
+		Updates:       s.updates.Load(),
+		Compactions:   s.compactions.Load(),
+	}
+	if sn.ov != nil {
+		ps := sn.ov.Stat()
+		st.Patch = &ps
 	}
 	if c := sn.eng.Cache(); c != nil {
 		cs := c.Stats()
@@ -483,6 +781,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/matrix", s.metrics.wrap("/matrix", s.handleMatrix))
 	mux.HandleFunc("/stats", s.metrics.wrap("/stats", s.handleStats))
 	mux.HandleFunc("/reload", s.metrics.wrap("/reload", s.handleReload))
+	mux.HandleFunc("/update", s.metrics.wrap("/update", s.handleUpdate))
+	mux.HandleFunc("/compact", s.metrics.wrap("/compact", s.handleCompact))
 	mux.HandleFunc("/healthz", s.metrics.wrap("/healthz", s.handleHealthz))
 	mux.HandleFunc("/shardquery", s.metrics.wrap("/shardquery", s.handleShardQuery))
 	mux.HandleFunc("/shardscan", s.metrics.wrap("/shardscan", s.handleShardScan))
@@ -665,6 +965,117 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		resp["ident"] = sn.ident
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxPatchBytes bounds a /update request body — patch logs are text,
+// and a batch bigger than this is an operator error, not a workload.
+const maxPatchBytes = 8 << 20
+
+// handleUpdate serves POST /update: the body is a text patch log (one
+// "add u v w" / "del u v" / "set u v w" op per line, '#' comments), the
+// response describes the overlay generation that now serves it. Shard
+// servers reject with 421 (route updates through the router); servers
+// without EnableUpdates reject with 409.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a text patch log (one \"add u v w\" / \"del u v\" / \"set u v w\" per line)")
+		return
+	}
+	if s.part != nil {
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error": fmt.Sprintf("shard %d serves a frozen slice; route edge updates through the cluster's router", s.shardID),
+			"shard": s.shardID,
+		})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPatchBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		if _, tooLarge := err.(*http.MaxBytesError); tooLarge {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "reading patch log body: "+err.Error())
+		return
+	}
+	ops, err := ParsePatchLog(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(ops) == 0 {
+		httpError(w, http.StatusBadRequest, "empty update: the body held no ops")
+		return
+	}
+	sn, err := s.applyOps(ops, true)
+	if err != nil {
+		code := http.StatusBadRequest
+		if !s.updatesEnabled() {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	resp := map[string]any{
+		"applied":    len(ops),
+		"generation": sn.gen,
+		"ident":      sn.ident,
+	}
+	if sn.ov != nil {
+		resp["patch"] = sn.ov.Stat()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// updatesEnabled reports whether EnableUpdates has run (mu-guarded —
+// the handlers use it only to pick a status code).
+func (s *Server) updatesEnabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseGraph != nil
+}
+
+// handleCompact serves POST /compact: fold the outstanding patch log
+// into a fresh frozen index and swap it in. Optional ?path= (or JSON
+// body {"path":"..."}) names the file to persist the compacted index
+// to; default is the serving snapshot's own file when it has one.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST /compact")
+		return
+	}
+	path := r.URL.Query().Get("path")
+	if path == "" {
+		var body struct {
+			Path string `json:"path"`
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		switch err := dec.Decode(&body); {
+		case err == nil:
+			path = body.Path
+		case errors.Is(err, io.EOF): // empty body
+		default:
+			httpError(w, http.StatusBadRequest, "body must be empty or a JSON object {\"path\":\"...\"}: "+err.Error())
+			return
+		}
+	}
+	gen, err := s.Compact(path)
+	if err != nil {
+		code := http.StatusBadRequest
+		if !s.updatesEnabled() {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err.Error())
+		return
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen,
+		"path":       sn.path,
+		"vertices":   sn.fx.NumVertices(),
+		"labels":     sn.fx.TotalLabels(),
+		"compressed": sn.fx.Compressed(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -930,12 +1341,18 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(int64(len(req.Sources)) * int64(len(req.Targets)))
-	streamMatrix(w, sn.fx, req)
+	streamMatrix(w, sn.eng, req)
+}
+
+// matrixRower streams matrix rows; FlatIndex answers from the frozen
+// kernels, BatchEngine additionally corrects under a delta overlay.
+type matrixRower interface {
+	MatrixRows(sources, targets []int, emit func(u int, dists []float64) error) error
 }
 
 // streamMatrix writes the NDJSON matrix stream over fx; shared shape
 // with the router's handler so both tiers speak one protocol.
-func streamMatrix(w http.ResponseWriter, fx *FlatIndex, req matrixRequest) {
+func streamMatrix(w http.ResponseWriter, fx matrixRower, req matrixRequest) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -1093,6 +1510,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promGauge(w, "chl_uptime_seconds", "Seconds since the server started.", st.UptimeSeconds)
 	promCounter(w, "chl_queries_total", "Point-to-point queries answered.", st.Queries)
 	promCounter(w, "chl_reloads_total", "Successful hot reloads.", st.Reloads)
+	promCounter(w, "chl_updates_total", "Edge-update batches applied.", st.Updates)
+	promCounter(w, "chl_compactions_total", "Patch-log compactions completed.", st.Compactions)
+	if st.Patch != nil {
+		promGauge(w, "chl_patch_epoch", "Epoch of the outstanding delta overlay.", float64(st.Patch.Epoch))
+		promGauge(w, "chl_patch_ops", "Ops in the outstanding patch log.", float64(st.Patch.Ops))
+		promGauge(w, "chl_patch_vertices", "Patch vertices in the outstanding overlay.", float64(st.Patch.Vertices))
+	}
 	if st.Cache != nil {
 		promGauge(w, "chl_cache_entries", "Answers currently cached.", float64(st.Cache.Entries))
 		promGauge(w, "chl_cache_capacity", "Answer cache capacity.", float64(st.Cache.Capacity))

@@ -42,6 +42,12 @@ type flightKey struct {
 	kind flightKind
 	pair uint64
 	hub  bool
+	// pepoch is the delta-overlay patch epoch the flight was keyed under
+	// (0 = no outstanding patches). A patch batch changes every answer's
+	// provenance, so a flight led before the batch must not feed a query
+	// arriving after it — the epoch splits their keyspaces the same way
+	// the fresh answer cache splits cached answers.
+	pepoch uint64
 }
 
 // flightResult is what a flight's leader hands every collapsed follower.

@@ -468,6 +468,96 @@ func TestShapeShedsClientQuota(t *testing.T) {
 	}
 }
 
+// TestWriteShedRetryContract pins the full 429 contract end to end
+// through shape(), for both shed reasons, at refill times that land on
+// fractional seconds: retry_after_seconds is always strictly positive
+// (a zero hint reads as "retry immediately" and turns backoff loops
+// into busy loops), and the Retry-After header is its ceiling, never
+// below one whole second. The fractional cases are the regression
+// surface: a truncating header (int(secs)) would serve "0" for every
+// sub-second hint and pass the whole-second cases above.
+func TestWriteShedRetryContract(t *testing.T) {
+	cases := []struct {
+		name       string
+		rate       float64       // quota tokens/second (0 = capacity shed instead)
+		burn       int           // requests to burn before the shed probe
+		advance    time.Duration // partial refill between burn and probe
+		wantReason string
+		wantSecs   float64 // exact expected retry_after_seconds
+		wantHeader string  // ceil(wantSecs), min 1
+	}{
+		{"capacity/50ms-constant", 0, 0, 0, shedReasonCapacity, 0.05, "1"},
+		{"quota/fractional-sub-second", 2.5, 1, 0, shedReasonQuota, 0.4, "1"},
+		{"quota/fractional-multi-second", 0.4, 1, 0, shedReasonQuota, 2.5, "3"},
+		{"quota/partial-refill", 1, 1, 300 * time.Millisecond, shedReasonQuota, 0.7, "1"},
+		{"quota/whole-second", 1, 1, 0, shedReasonQuota, 1, "1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := NewFakeClock(time.Unix(1_700_000_000, 0))
+			r := &Router{clock: clk}
+			var park chan struct{}
+			if tc.rate > 0 {
+				r.quota = newQuotaLimiter(clk, tc.rate, 1)
+			} else {
+				// Capacity shed: park one request in the handler so the
+				// probe finds the single slot taken.
+				r.maxInFlight = 1
+				park = make(chan struct{})
+			}
+			entered := make(chan struct{}, 1)
+			h := r.shape(func(w http.ResponseWriter, req *http.Request) {
+				entered <- struct{}{}
+				if park != nil {
+					<-park
+				}
+				w.WriteHeader(http.StatusOK)
+			})
+			req := httptest.NewRequest(http.MethodGet, "/dist?u=0&v=1", nil)
+			req.Header.Set(QuotaKeyHeader, "carol")
+			if park != nil {
+				go func() { h(httptest.NewRecorder(), req) }()
+				<-entered
+				defer close(park)
+			}
+			for i := 0; i < tc.burn; i++ {
+				rec := httptest.NewRecorder()
+				h(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Fatalf("burn request %d got %d, want 200", i, rec.Code)
+				}
+			}
+			if tc.advance > 0 {
+				clk.Advance(tc.advance)
+			}
+			rec := httptest.NewRecorder()
+			h(rec, req)
+			if rec.Code != http.StatusTooManyRequests {
+				t.Fatalf("shed probe got %d, want 429", rec.Code)
+			}
+			var body shedBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+				t.Fatalf("429 body is not JSON: %v", err)
+			}
+			if body.Reason != tc.wantReason || body.Error == "" {
+				t.Fatalf("shed body %+v, want reason %q with an error string", body, tc.wantReason)
+			}
+			if body.RetryAfterSeconds <= 0 {
+				t.Fatalf("retry_after_seconds = %v, must be strictly positive", body.RetryAfterSeconds)
+			}
+			if math.Abs(body.RetryAfterSeconds-tc.wantSecs) > 1e-9 {
+				t.Fatalf("retry_after_seconds = %v, want %v", body.RetryAfterSeconds, tc.wantSecs)
+			}
+			if got := rec.Header().Get("Retry-After"); got != tc.wantHeader {
+				t.Fatalf("Retry-After header %q, want %q (ceil of %v, min 1)", got, tc.wantHeader, body.RetryAfterSeconds)
+			}
+			if hdr, _ := strconv.Atoi(rec.Header().Get("Retry-After")); float64(hdr) < body.RetryAfterSeconds || hdr < 1 {
+				t.Fatalf("Retry-After %d rounds down below the %vs hint", hdr, body.RetryAfterSeconds)
+			}
+		})
+	}
+}
+
 // --- hedging ---
 
 // The hedge path end to end: the first attempt parks, the FakeClock

@@ -2,7 +2,9 @@ package chl
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/delta"
 	"repro/internal/label"
 )
 
@@ -111,8 +113,22 @@ func (fx *FlatIndex) Path(u, v int) (dist float64, path []int, reachable bool, e
 
 // Path is FlatIndex.Path through the engine's cache: every segment
 // query fills (and is served from) the pair cache when one is
-// attached.
+// attached. Under a delta overlay witness-hub expansion is unavailable
+// (frozen hubs need not lie on patched shortest paths), so the chain
+// comes from an exact predecessor Dijkstra on the patched graph; each
+// leg is a patched edge, so consecutive Query distances still sum to
+// dist exactly.
 func (e *BatchEngine) Path(u, v int) (dist float64, path []int, reachable bool, err error) {
+	if e.ov != nil {
+		path, dist, err := e.ov.ShortestPath(u, v)
+		if err != nil {
+			return 0, nil, false, err
+		}
+		if path == nil {
+			return Infinity, nil, false, nil
+		}
+		return dist, path, true, nil
+	}
 	return expandPath(u, v, e.fx.NumVertices(), func(a, b int) (float64, int, bool, error) {
 		d, h, ok := e.QueryHub(a, b)
 		return d, h, ok, nil
@@ -155,13 +171,55 @@ func (fx *FlatIndex) KNNFromRun(run []uint64, k, exclude int) []Neighbor {
 // (distance, witness) pair answer, so it is deposited into the
 // engine's pair cache — later /dist queries for those pairs hit
 // without touching the label arrays. Only true pair answers enter the
-// cache; the k parameter never leaks into the pair keyspace.
+// cache; the k parameter never leaks into the pair keyspace. Under a
+// delta overlay the inverted-index scan would rank by frozen
+// distances, so candidates come from an exact patched-graph row
+// instead; each winner is re-answered through QueryHub so distance,
+// witness, and the cache deposit agree bit-for-bit with /dist.
 func (e *BatchEngine) KNN(u, k int) []Neighbor {
+	if e.ov != nil {
+		return topKFromRow(mustOverlayRow(e.ov, u), u, k, func(v int) (float64, int, bool) {
+			return e.QueryHub(u, v)
+		})
+	}
 	out := e.fx.KNN(u, k)
 	if e.cache != nil {
 		for _, nb := range out {
 			e.cache.Put(u, nb.V, Answer{Dist: nb.Dist, Hub: nb.Hub, Reachable: true})
 		}
+	}
+	return out
+}
+
+// topKFromRow selects the k nearest targets from a full distance row —
+// ordered by (distance, vertex), excluding the source — and answers
+// each winner through the tier's own pair querier so the reported
+// (distance, hub) triple is exactly the tier's /dist answer for that
+// pair. Both overlay-serving tiers (engine and router) funnel their
+// /knn through this so their outputs stay identical.
+func topKFromRow(row []float64, source, k int, pairQ func(v int) (float64, int, bool)) []Neighbor {
+	if k <= 0 {
+		return []Neighbor{}
+	}
+	cand := make([]int, 0, len(row))
+	for v, d := range row {
+		if v != source && d < Infinity {
+			cand = append(cand, v)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if row[cand[i]] != row[cand[j]] {
+			return row[cand[i]] < row[cand[j]]
+		}
+		return cand[i] < cand[j]
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	out := make([]Neighbor, len(cand))
+	for i, v := range cand {
+		d, h, _ := pairQ(v)
+		out[i] = Neighbor{V: v, Dist: d, Hub: h}
 	}
 	return out
 }
@@ -205,4 +263,37 @@ func (fx *FlatIndex) MatrixRows(sources, targets []int, emit func(u int, dists [
 		}
 	}
 	return nil
+}
+
+// MatrixRows streams the matrix through the engine: the frozen
+// scatter-probe kernel when no overlay is attached, exact patched
+// single-source rows under one. The patched rows are whole-graph
+// Dijkstras projected onto the target set — every cell is the exact
+// patched distance, bit-identical to /dist on the same pair, and the
+// one-row-at-a-time streaming discipline is preserved.
+func (e *BatchEngine) MatrixRows(sources, targets []int, emit func(u int, dists []float64) error) error {
+	if e.ov == nil {
+		return e.fx.MatrixRows(sources, targets, emit)
+	}
+	row := make([]float64, len(targets))
+	for _, u := range sources {
+		full := mustOverlayRow(e.ov, u)
+		for j, t := range targets {
+			row[j] = full[t]
+		}
+		if err := emit(u, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mustOverlayRow is Overlay.Row for overlays past construction — like
+// mustOverlayDist, failure means a corrupted overlay, not bad input.
+func mustOverlayRow(ov *delta.Overlay, u int) []float64 {
+	row, err := ov.Row(u)
+	if err != nil {
+		panic(fmt.Sprintf("chl: overlay epoch %d failed its patched row for %d: %v", ov.Epoch(), u, err))
+	}
+	return row
 }
