@@ -40,6 +40,9 @@ func main() {
 		list      = flag.Bool("list", false, "list dataset and algorithm names")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (chl takes flags only)", flag.Args()))
+	}
 
 	if *list {
 		fmt.Println("datasets: ", strings.Join(chl.DatasetNames(), " "))

@@ -130,6 +130,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "build and query-generation seed")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (chlbench takes flags only)", flag.Args()))
+	}
 	if *queries == 0 {
 		*queries = 20000
 		if *smoke {
@@ -761,7 +764,11 @@ func updatesBench(g *chl.Graph, httpQ int, seed int64) UpdateStats {
 	if err != nil {
 		fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	// The drain is inside the timed window: a transfer error here means
+	// the measurement is of a broken request, not a slow one.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		fatal(fmt.Errorf("draining /update response: %w", err))
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		fatal(fmt.Errorf("/update status %d", resp.StatusCode))
@@ -792,7 +799,9 @@ func updatesBench(g *chl.Graph, httpQ int, seed int64) UpdateStats {
 	if err != nil {
 		fatal(err)
 	}
-	io.Copy(io.Discard, resp.Body)
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		fatal(fmt.Errorf("draining /compact response: %w", err))
+	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		fatal(fmt.Errorf("/compact status %d", resp.StatusCode))

@@ -100,6 +100,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// The only positional form is "u v" (one point-to-point query); one
+	// stray argument or three used to fall silently into interactive
+	// mode, which reads as a hang when the user mistyped a flag.
+	if n := flag.NArg(); n != 0 && n != 2 {
+		fatal(fmt.Errorf("expected no positional arguments or exactly two vertex ids, got %d: %q", n, flag.Args()))
+	}
+
 	if *serveAddr != "" {
 		runServe(*serveAddr, *indexPath, *loadPath, *savePath, *cacheCap, *prefault, *comp, *shardID, *manifest, *graphPath, *journal)
 		return
@@ -164,6 +171,11 @@ func main() {
 			continue
 		}
 		answer(fx, u, v)
+	}
+	// A read error (closed terminal, piped file going away) is not the
+	// same as a clean EOF; surface it instead of exiting 0.
+	if err := sc.Err(); err != nil {
+		fatal(fmt.Errorf("reading queries: %w", err))
 	}
 }
 

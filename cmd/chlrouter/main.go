@@ -88,6 +88,9 @@ func main() {
 		journalPath  = flag.String("update-journal", "", "with -graph: update journal file — accepted patches are appended before serving and replayed on restart")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (chlrouter takes flags only)", flag.Args()))
+	}
 
 	if *manifestPath == "" {
 		fatal(fmt.Errorf("pass -manifest FILE (and -shards URL[|URL...],... unless the manifest records replica_addrs)"))

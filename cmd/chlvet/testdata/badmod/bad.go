@@ -1,0 +1,40 @@
+// Package badmod violates every chlvet invariant once, so the
+// end-to-end test can assert the built binary reports each analyzer
+// with file:line positions and fix hints, and exits non-zero.
+package badmod
+
+import (
+	"math"
+	"time"
+)
+
+// clockcheck: wall-clock read in a library package.
+func uptime(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// pairkey: hand-rolled pair packing.
+func packed(u, v int) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// floatexact: epsilon-tolerance comparison.
+func close(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+// snapshotref: acquired reference discarded.
+type handle struct{}
+
+func (h *handle) Acquire() *handle { return h }
+func (h *handle) Release()         {}
+
+func leak(h *handle) {
+	h.Acquire()
+}
+
+// A justified allow must suppress e2e exactly as it does in-process.
+func allowed() time.Time {
+	//chlvet:allow clockcheck -- e2e fixture: proves suppression through the binary
+	return time.Now()
+}

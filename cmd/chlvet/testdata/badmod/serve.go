@@ -1,0 +1,8 @@
+package badmod
+
+import "net/http"
+
+// errcontract: naked http.Error in a handler-bearing file.
+func serveErr(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "text/plain error", http.StatusInternalServerError)
+}

@@ -1,0 +1,6 @@
+// Package goodmod is the clean end-to-end fixture: chlvet over it must
+// exit 0 with no output.
+package goodmod
+
+// Add is the most invariant-respecting function ever written.
+func Add(a, b int) int { return a + b }

@@ -32,15 +32,17 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (experiments takes flags only)", flag.Args()))
+	}
 
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		var err error
+		if f, err = os.Create(*out); err != nil {
+			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 
@@ -52,11 +54,24 @@ func main() {
 		QueryBatch: *batch,
 	}.Defaults()
 
-	if *only == "" {
-		exp.RunAll(w, cfg)
-		return
+	if err := runReport(w, cfg, *only); err != nil {
+		fatal(err)
 	}
-	for _, name := range strings.Split(*only, ",") {
+	// A report that took an hour to compute must not lose its tail to a
+	// swallowed close error (a full disk often only surfaces here).
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *out, err))
+		}
+	}
+}
+
+func runReport(w io.Writer, cfg exp.Config, only string) error {
+	if only == "" {
+		exp.RunAll(w, cfg)
+		return nil
+	}
+	for _, name := range strings.Split(only, ",") {
 		switch strings.TrimSpace(strings.ToLower(name)) {
 		case "intro":
 			exp.WriteQueryBaselines(w, exp.QueryBaselines(cfg))
@@ -87,8 +102,13 @@ func main() {
 		case "x4":
 			exp.WriteAblationPlantFirst(w, exp.AblationPlantFirst(cfg))
 		default:
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
-			os.Exit(1)
+			return fmt.Errorf("unknown experiment %q (have intro, table3, table4, fig2..fig9, x2, x3, x4)", name)
 		}
 	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

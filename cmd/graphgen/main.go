@@ -34,6 +34,9 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	if flag.NArg() != 0 {
+		fatal(fmt.Errorf("unexpected arguments %q (graphgen takes flags only)", flag.Args()))
+	}
 
 	var g *chl.Graph
 	var err error
@@ -64,12 +67,11 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		if f, err = os.Create(*out); err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -82,6 +84,13 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	// Close errors on the write path are data loss (a full disk often
+	// only surfaces here); a deferred close would swallow them.
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("writing %s: %w", *out, err))
+		}
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: n=%d m=%d directed=%v\n", g.NumVertices(), g.NumEdges(), g.Directed())
 }

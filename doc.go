@@ -222,4 +222,14 @@
 // scale-free graphs), RankByBetweenness (sampled approximate betweenness,
 // the paper's choice for road networks), RankAuto (picks between them),
 // or any custom permutation via RankFromPerm.
+//
+// # Static analysis
+//
+// The serving stack's invariants — the injectable Clock discipline, the
+// centralized pairKey/flightKeyFor key construction, the JSON error
+// contract, distance bit-exactness, and the snapshot acquire/release
+// pairing — are enforced mechanically by cmd/chlvet, the repository's
+// own vet tool (five analyzers in internal/analysis, run clean by CI on
+// every change). A justified //chlvet:allow annotation exempts a line;
+// see ARCHITECTURE.md ("Static analysis").
 package chl

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// pairkeyApproved are the functions allowed to pack two 32-bit values
+// into one word: Cache.pairKey is the single canonicalization point for
+// cache keys (ordered for directed indexes, unordered otherwise), and
+// flightKeyFor is the single constructor for singleflight keys, built
+// on the same discipline.
+var pairkeyApproved = map[string]bool{
+	"pairKey":      true,
+	"flightKeyFor": true,
+}
+
+// Pairkey flags hand-rolled vertex-pair packing in the root package:
+// any u<<32|v-style shift-or outside Cache.pairKey/flightKeyFor, and
+// ad-hoc map key types shaped like a vertex pair ([2]int arrays,
+// two-integer-field structs). PR 5's latent bug was exactly this — an
+// unordered cache key in front of a directed index served d(v→u) for
+// d(u→v) — and the fix centralized key construction so ordering is
+// decided in one place. A second packing site is a second place for
+// the (u,v)/(v,u) decision to silently diverge.
+var Pairkey = &Analyzer{
+	Name: "pairkey",
+	Doc: "vertex-pair cache and singleflight keys must flow through Cache.pairKey/flightKeyFor; " +
+		"manual u<<32|v packing reintroduces the PR 5 directed (u,v)/(v,u) aliasing bug class",
+	AppliesTo: func(rel string) bool { return rel == "" },
+	Run:       runPairkey,
+}
+
+func runPairkey(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.OR {
+					return true
+				}
+				if !isShift32(n.X) && !isShift32(n.Y) {
+					return true
+				}
+				if pairkeyApproved[enclosingFunc(f, n.Pos())] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"build cache keys with Cache.pairKey and singleflight keys with flightKeyFor; ordering is decided there, once",
+					"manual 64-bit pair packing (x<<32|y) outside pairKey/flightKeyFor")
+			case *ast.MapType:
+				if !isPairShapedKey(n.Key) {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"key the map on Cache.pairKey/flightKeyFor output (uint64) so (u,v) ordering stays centralized",
+					"ad-hoc map key over a vertex pair")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isShift32 matches x<<32 (a half of the manual pair-packing idiom).
+func isShift32(e ast.Expr) bool {
+	sh, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || sh.Op != token.SHL {
+		return false
+	}
+	lit, ok := unparen(sh.Y).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "32"
+}
+
+// isPairShapedKey matches map key types that smell like a vertex pair:
+// a 2-element integer array, or a struct of exactly two integer fields.
+// The sanctioned flightKey struct does not match — it carries the kind
+// and patch-epoch discriminants precisely so it is more than a bare
+// pair.
+func isPairShapedKey(e ast.Expr) bool {
+	switch t := unparen(e).(type) {
+	case *ast.ArrayType:
+		lit, ok := t.Len.(*ast.BasicLit)
+		return ok && lit.Kind == token.INT && lit.Value == "2" && isIntIdent(t.Elt)
+	case *ast.StructType:
+		fields := 0
+		for _, fl := range t.Fields.List {
+			n := len(fl.Names)
+			if n == 0 {
+				n = 1 // embedded
+			}
+			if !isIntIdent(fl.Type) {
+				return false
+			}
+			fields += n
+		}
+		return fields == 2
+	}
+	return false
+}
+
+func isIntIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "int", "int32", "int64", "uint", "uint32", "uint64":
+		return true
+	}
+	return false
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

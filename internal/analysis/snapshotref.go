@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Snapshotref enforces the ref-counted drain rule from PR 2: every
+// snapshot reference taken with Server.Acquire (or the internal
+// fxHandle.acquire) must be released on every return path, or its
+// ownership explicitly handed off. A leaked reference keeps a retired
+// snapshot's mmap pinned forever after a hot swap — the file never
+// unmaps, and under churn the process accretes dead mappings; a missing
+// release on just one early-return error path is how that starts.
+//
+// The check is deliberately flow-insensitive (it pairs syntax, not
+// paths) with three sanctioned shapes:
+//
+//  1. defer sn.Release() anywhere in the function — the idiom;
+//  2. a plain sn.Release() with no return statement between the
+//     acquire and the release (short straight-line sections like
+//     SetPrefault);
+//  3. ownership transfer: the acquired value is returned, passed to a
+//     call, stored into a field/composite, or the acquire expression
+//     itself is an argument or return operand.
+var Snapshotref = &Analyzer{
+	Name: "snapshotref",
+	Doc: "every snapshot acquire (Server.Acquire / fxHandle.acquire) must be matched by a deferred " +
+		"or provably-ordered release, or an explicit ownership transfer — the ref-counted drain rule " +
+		"that keeps hot-swap unmap safe (PR 2)",
+	AppliesTo: func(rel string) bool { return rel == "" },
+	Run:       runSnapshotref,
+}
+
+// acquireNames / releaseNames pair the two refcount APIs: the exported
+// Snapshot one and the internal fxHandle one.
+func isAcquireName(s string) bool { return s == "Acquire" || s == "acquire" }
+func isReleaseName(s string) bool { return s == "Release" || s == "release" }
+
+func runSnapshotref(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isAcquireName(fd.Name.Name) || isReleaseName(fd.Name.Name) {
+				continue // the refcount primitives themselves
+			}
+			checkFuncRefs(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncRefs(pass *Pass, fd *ast.FuncDecl) {
+	parents := parentMap(fd)
+	var acquires []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if ok && isAcquireName(sel.Sel.Name) && len(call.Args) == 0 {
+			acquires = append(acquires, call)
+		}
+		return true
+	})
+	for _, call := range acquires {
+		checkAcquireSite(pass, fd, call, parents)
+	}
+}
+
+func checkAcquireSite(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	const hint = "defer sn.Release() on the next line, or transfer ownership explicitly (return it, pass it on, or store it)"
+
+	// Walk up from the call: an acquire used directly as a call argument
+	// or return operand transfers its reference to the consumer.
+	child := ast.Node(call)
+	for n := parents[call]; n != nil; child, n = n, parents[n] {
+		switch p := n.(type) {
+		case *ast.SelectorExpr:
+			// s.Acquire().X: the only balanced chain is an immediate
+			// release; anything else uses a reference nobody can drop.
+			if isReleaseName(p.Sel.Name) {
+				return
+			}
+			pass.Reportf(call.Pos(), hint,
+				"result of acquire is used without being bound — the reference can never be released")
+			return
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == child {
+					return // argument of another call: ownership handed off
+				}
+			}
+			continue // receiver chain; keep walking
+		case *ast.ReturnStmt:
+			return // returned: caller owns it
+		case *ast.AssignStmt:
+			name := assignedName(p, call)
+			if name == "" {
+				// Stored into a field/index/composite: transferred.
+				return
+			}
+			checkTrackedRef(pass, fd, call, name, hint)
+			return
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), hint,
+				"acquired snapshot reference is discarded (refcount can never drop)")
+			return
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CaseClause, *ast.CommClause, *ast.LabeledStmt:
+			// Hit a statement boundary without a recognized consumer.
+			pass.Reportf(call.Pos(), hint,
+				"acquired snapshot reference is not assigned, released, or transferred")
+			return
+		}
+	}
+}
+
+// assignedName returns the identifier the acquire's result is bound to
+// when the assignment is the simple x := recv.Acquire() shape, "" when
+// the destination is a field/index expression (a transfer).
+func assignedName(as *ast.AssignStmt, call *ast.CallExpr) string {
+	for i, rhs := range as.Rhs {
+		if unparen(rhs) != call || i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// checkTrackedRef verifies the lifecycle of a named snapshot reference.
+func checkTrackedRef(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, name, hint string) {
+	if name == "_" {
+		pass.Reportf(call.Pos(), hint,
+			"acquired snapshot reference is discarded (refcount can never drop)")
+		return
+	}
+	var (
+		deferred     bool
+		firstRelease token.Pos
+		transferred  bool
+		returns      []token.Pos
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if releaseOn(n.Call, name) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if releaseOn(n, name) && n.Pos() > call.End() && (firstRelease == token.NoPos || n.Pos() < firstRelease) {
+				firstRelease = n.Pos()
+			}
+			for _, arg := range n.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok && id.Name == name {
+					transferred = true
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+			for _, res := range n.Results {
+				if identInExpr(res, name) {
+					transferred = true
+				}
+			}
+		case *ast.AssignStmt:
+			// sn stored somewhere (s.cur = sn, m[k] = sn, x.f = sn):
+			// ownership moved to the destination's lifecycle.
+			for i, rhs := range n.Rhs {
+				if id, ok := unparen(rhs).(*ast.Ident); ok && id.Name == name && i < len(n.Lhs) {
+					if _, isIdent := unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+						transferred = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := unparen(e).(*ast.Ident); ok && id.Name == name {
+					transferred = true
+				}
+			}
+		}
+		return true
+	})
+	switch {
+	case deferred || transferred:
+		return
+	case firstRelease == token.NoPos:
+		pass.Reportf(call.Pos(), hint,
+			"snapshot reference %q is acquired but never released in this function", name)
+	default:
+		for _, ret := range returns {
+			if ret > call.End() && ret < firstRelease {
+				pass.Reportf(call.Pos(), hint,
+					"snapshot reference %q can return before its release (non-deferred release at a later line)", name)
+				return
+			}
+		}
+	}
+}
+
+// releaseOn matches name.Release() / name.release().
+func releaseOn(call *ast.CallExpr, name string) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isReleaseName(sel.Sel.Name) {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// identInExpr reports whether name occurs as an identifier anywhere in e.
+func identInExpr(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// parentMap builds child→parent links for every node under fd.
+func parentMap(fd *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// Analyzers is the chlvet suite in its canonical order.
+var Analyzers = []*Analyzer{Clockcheck, Pairkey, Errcontract, Floatexact, Snapshotref}
+
+// ByName returns the analyzers matching a comma-separated name list
+// (every analyzer for ""), or an error naming the first unknown one.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers, nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range Analyzers {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil, errUnknownAnalyzer(name)
+		}
+	}
+	return out, nil
+}
+
+type errUnknownAnalyzer string
+
+func (e errUnknownAnalyzer) Error() string {
+	known := make([]string, len(Analyzers))
+	for i, a := range Analyzers {
+		known[i] = a.Name
+	}
+	return "unknown analyzer " + string(e) + " (have " + strings.Join(known, ", ") + ")"
+}

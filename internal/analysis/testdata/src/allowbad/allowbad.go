@@ -1,0 +1,22 @@
+// Package allowbad holds deliberately malformed //chlvet:allow
+// annotations. It is driven directly by TestAllowAnnotations rather
+// than through RunTest: the chlvet pseudo-diagnostics land on the
+// annotation's own line, where a // want comment cannot ride.
+package allowbad
+
+import "time"
+
+func noJustification() time.Time {
+	//chlvet:allow clockcheck
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//chlvet:allow clokcheck -- typo in the analyzer name
+	return time.Now()
+}
+
+func valid() time.Time {
+	//chlvet:allow clockcheck -- fixture: justified exemption
+	return time.Now()
+}

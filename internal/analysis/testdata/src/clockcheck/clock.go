@@ -1,0 +1,11 @@
+package clockcheck
+
+import "time"
+
+// clock.go is the one sanctioned bridge to package time: nothing in a
+// file by this name is flagged.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,33 @@
+// Package clockcheck exercises the clockcheck analyzer: wall-clock
+// reads in a library package, the clock.go exemption, the test-file
+// Sleep rule, and the //chlvet:allow escape hatch.
+package clockcheck
+
+import "time"
+
+func timed() time.Duration {
+	start := time.Now() // want "time.Now outside the Clock discipline"
+	work()
+	return time.Since(start) // want "time.Since outside the Clock discipline"
+}
+
+func waits() {
+	time.Sleep(time.Millisecond) // want "time.Sleep outside the Clock discipline"
+	t := time.NewTimer(0)        // want "time.NewTimer outside the Clock discipline"
+	t.Stop()
+	select {
+	case <-time.After(time.Second): // want "time.After outside the Clock discipline"
+	default:
+	}
+}
+
+func allowed() time.Time {
+	//chlvet:allow clockcheck -- fixture: epoch-identity style exemption
+	return time.Now()
+}
+
+// Durations and time arithmetic are fine: only the wall-clock entry
+// points are forbidden.
+func harmless(t time.Time) time.Time { return t.Add(time.Millisecond) }
+
+func work() {}

@@ -1,0 +1,15 @@
+package clockcheck
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepFlagged(t *testing.T) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a test"
+
+	// Tests may read wall time (deadlines, timestamps in fixtures);
+	// they just must not wait on it.
+	deadline := time.Now().Add(time.Second)
+	_ = deadline
+}

@@ -1,0 +1,9 @@
+package errcontract
+
+import "net/http"
+
+// other.go is not a handler-bearing file: the JSON error contract does
+// not apply here, so nothing below is flagged.
+func elsewhere(w http.ResponseWriter) {
+	http.Error(w, "plain text is fine outside handler files", 500)
+}

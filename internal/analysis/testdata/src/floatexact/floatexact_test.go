@@ -1,0 +1,15 @@
+package floatexact
+
+import (
+	"math"
+	"testing"
+)
+
+// Parity tests are exactly where tolerances try to sneak in: the
+// epsilon check is syntactic so it reaches _test.go files too.
+func TestTolerant(t *testing.T) {
+	a, b := 1.0, 1.0
+	if math.Abs(a-b) <= 1e-6 { // want "epsilon-tolerance comparison"
+		t.Log("close enough is not a thing here")
+	}
+}

@@ -1,0 +1,52 @@
+// Package pairkey exercises the pairkey analyzer: manual pair packing,
+// pair-shaped map keys, the approved constructors, and the PR 5
+// directed-aliasing regression shape.
+package pairkey
+
+// Cache mirrors the real answer cache's key discipline: pairKey is the
+// single canonicalization point, so its own packing is approved.
+type Cache struct {
+	directed bool
+	m        map[uint64]float64
+}
+
+func (c *Cache) pairKey(u, v int) uint64 {
+	if !c.directed && u > v {
+		u, v = v, u
+	}
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// flightKeyFor is the other approved constructor.
+func flightKeyFor(u, v int) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
+}
+
+// aliasing is the PR 5 regression shape: a hand-rolled key in front of
+// a directed cache, sorted unconditionally where pairKey would have
+// preserved order — d(v→u) silently served for d(u→v). The analyzer
+// must flag the packing site so the bug class cannot be reintroduced.
+func aliasing(c *Cache, u, v int) float64 {
+	if u > v {
+		u, v = v, u // unconditional sort: wrong when c.directed
+	}
+	key := uint64(uint32(u))<<32 | uint64(uint32(v)) // want "manual 64-bit pair packing"
+	return c.m[key]
+}
+
+// Ad-hoc pair-shaped map keys sidestep the discipline entirely.
+var adhocArray map[[2]int]float64 // want "ad-hoc map key over a vertex pair"
+
+var adhocStruct map[struct{ u, v int }]bool // want "ad-hoc map key over a vertex pair"
+
+// A key carrying discriminants beyond the bare pair (the real
+// flightKey shape) is more than a pair and is not flagged.
+var keyed map[struct {
+	kind   uint8
+	pair   uint64
+	hub    bool
+	pepoch uint64
+}]bool
+
+// Shifts that are not the 32-bit pair idiom are untouched.
+func mix(a, b uint64) uint64 { return a<<16 | b }

@@ -1,0 +1,77 @@
+// Package snapshotref exercises the snapshotref analyzer: the deferred
+// and straight-line release shapes, the three ownership transfers, and
+// the leak/early-return/discard defects.
+package snapshotref
+
+type Snap struct{}
+
+func (s *Snap) Release() {}
+func (s *Snap) use() int { return 0 }
+
+type Server struct {
+	cur *Snap
+}
+
+func (s *Server) Acquire() *Snap { return &Snap{} }
+
+// deferred is the idiom.
+func deferred(s *Server) int {
+	sn := s.Acquire()
+	defer sn.Release()
+	return sn.use()
+}
+
+// straightLine releases without defer but with no return in between.
+func straightLine(s *Server) {
+	sn := s.Acquire()
+	sn.use()
+	sn.Release()
+}
+
+func earlyReturn(s *Server, bad bool) int {
+	sn := s.Acquire() // want "can return before its release"
+	if bad {
+		return -1
+	}
+	n := sn.use()
+	sn.Release()
+	return n
+}
+
+func leaked(s *Server) {
+	sn := s.Acquire() // want "never released in this function"
+	sn.use()
+}
+
+func discarded(s *Server) {
+	s.Acquire() // want "discarded"
+}
+
+func unbound(s *Server) int {
+	return s.Acquire().use() // want "without being bound"
+}
+
+// chained is the one balanced acquire-chain: release immediately.
+func chained(s *Server) {
+	s.Acquire().Release()
+}
+
+// The three transfer shapes: the consumer owns the reference.
+func transferReturn(s *Server) *Snap {
+	return s.Acquire()
+}
+
+func consume(sn *Snap) {}
+
+func transferArg(s *Server) {
+	consume(s.Acquire())
+}
+
+func transferField(s *Server) {
+	s.cur = s.Acquire()
+}
+
+func transferStore(s *Server, m map[int]*Snap) {
+	sn := s.Acquire()
+	m[0] = sn
+}

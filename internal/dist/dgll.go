@@ -276,6 +276,7 @@ func DGLL(g *graph.Graph, o Options) (*Result, error) {
 	oom := false
 	bounds := clip(schedule(0, n, o.Beta, o.Supersteps), eta, n)
 
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 	st := cl.Run(func(nd *cluster.Node) {
 		c := &counters[nd.Rank()]
@@ -295,6 +296,7 @@ func DGLL(g *graph.Graph, o Options) (*Result, error) {
 			common = com
 		}
 	})
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.ConstructTime = m.TotalTime
 	m.BytesSent = st.BytesSent

@@ -32,6 +32,7 @@ func DParaPLL(g *graph.Graph, o Options) (*Result, error) {
 	oom := false
 	bounds := schedule(0, n, o.Beta, o.Supersteps)
 
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 	st := cl.Run(func(nd *cluster.Node) {
 		c := &counters[nd.Rank()]
@@ -46,6 +47,7 @@ func DParaPLL(g *graph.Graph, o Options) (*Result, error) {
 			finalSets = global
 		}
 	})
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.ConstructTime = m.TotalTime
 	m.BytesSent = st.BytesSent

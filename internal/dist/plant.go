@@ -146,6 +146,7 @@ func PLaNT(g *graph.Graph, o Options) (*Result, error) {
 	perNodeSets := make([][]label.Set, o.Nodes)
 	var common *label.Index
 
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 	st := cl.Run(func(nd *cluster.Node) {
 		c := &counters[nd.Rank()]
@@ -172,6 +173,7 @@ func PLaNT(g *graph.Graph, o Options) (*Result, error) {
 			common = com
 		}
 	})
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.ConstructTime = m.TotalTime
 	m.BytesSent = st.BytesSent

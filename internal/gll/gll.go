@@ -63,10 +63,12 @@ func Run(g *graph.Graph, opts Options) (*label.Index, *metrics.Build) {
 	n := g.NumVertices()
 	m := &metrics.Build{Algorithm: "GLL", Workers: opts.Workers}
 	st := NewState(g, opts)
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 	for !st.Done() {
 		st.Superstep(m)
 	}
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.Trees = int64(n)
 	m.LockAcquisitions = st.LockCount()
@@ -129,12 +131,16 @@ func (st *State) Superstep(m *metrics.Build) {
 	if budget < 1 {
 		budget = 1
 	}
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	t0 := time.Now()
 	st.construct(budget, m)
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.ConstructTime += time.Since(t0)
 
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	t1 := time.Now()
 	st.cleanAndCommit(m)
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.CleanTime += time.Since(t1)
 	m.Synchronizations++
 }

@@ -27,6 +27,7 @@ func RunDirected(g *graph.Graph, opts Options) (*label.DirectedIndex, *metrics.B
 	gt := g.Transpose()
 	lin := label.NewConcurrentStore(n)
 	lout := label.NewConcurrentStore(n)
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 
 	var next int64 = -1
@@ -62,6 +63,7 @@ func RunDirected(g *graph.Graph, opts Options) (*label.DirectedIndex, *metrics.B
 	}
 	wg.Wait()
 	dx := &label.DirectedIndex{Forward: lout.Seal(), Backward: lin.Seal()}
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.ConstructTime = m.TotalTime
 	m.Trees = 2 * int64(n)

@@ -242,6 +242,7 @@ func Run(g *graph.Graph, opts Options) (*label.Index, *metrics.Build) {
 		m.ExploredPerTree = make([]int64, n)
 	}
 	store := label.NewConcurrentStore(n)
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	start := time.Now()
 
 	var common *label.Index
@@ -270,6 +271,7 @@ func Run(g *graph.Graph, opts Options) (*label.Index, *metrics.Build) {
 	})
 
 	ix := store.Seal()
+	//chlvet:allow clockcheck -- construction/experiment wall time is the reported measurement itself, not control flow; a fake clock would report fake results
 	m.TotalTime = time.Since(start)
 	m.ConstructTime = m.TotalTime
 	m.Trees = int64(n)

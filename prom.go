@@ -56,13 +56,16 @@ type endpointMetrics struct {
 }
 
 // httpMetrics instruments a fixed set of endpoints, declared up front so
-// the hot path is an index into an array, not a map under a lock.
+// the hot path is an index into an array, not a map under a lock. Time
+// flows through the injected Clock so tests can step a FakeClock and
+// assert exact bucket placement.
 type httpMetrics struct {
+	clock     Clock
 	endpoints []*endpointMetrics
 }
 
-func newHTTPMetrics(names ...string) *httpMetrics {
-	m := &httpMetrics{}
+func newHTTPMetrics(clock Clock, names ...string) *httpMetrics {
+	m := &httpMetrics{clock: clock}
 	for _, n := range names {
 		m.endpoints = append(m.endpoints, &endpointMetrics{name: n})
 	}
@@ -109,9 +112,9 @@ func (m *httpMetrics) wrap(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
+		start := m.clock.Now()
 		h(rec, r)
-		e.hist.observe(time.Since(start))
+		e.hist.observe(m.clock.Now().Sub(start))
 		e.requests.Add(1)
 		if rec.status >= 400 {
 			e.errors.Add(1)

@@ -47,6 +47,7 @@ func (f *flakyBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	}
 	if d := f.delay.Load(); d > 0 {
+		//chlvet:allow clockcheck -- simulated slow backend inside the fake shard handler, not test synchronization
 		time.Sleep(time.Duration(d)) // simulated slow backend, not test synchronization
 	}
 	if f.sick.Load() {

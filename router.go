@@ -576,7 +576,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		hedgeDelay:  hedgeDelay,
 		maxInFlight: int64(cfg.MaxInFlight),
 		quota:       newQuotaLimiter(clock, cfg.ClientQPS, cfg.ClientBurst),
-		metrics:     newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix", "/stats", "/reload", "/update", "/healthz"),
+		metrics:     newHTTPMetrics(clock, "/dist", "/batch", "/paths", "/knn", "/matrix", "/stats", "/reload", "/update", "/healthz"),
 		start:       clock.Now(),
 		baseGraph:   cfg.BaseGraph,
 		journal:     cfg.UpdateJournal,
@@ -663,11 +663,7 @@ func (r *Router) queryHub(u, v int, needHub bool) (dist float64, hub int, ok boo
 		}
 	}
 	r.queries.Add(1)
-	ku, kv := u, v
-	if !r.directed && ku > kv {
-		ku, kv = kv, ku
-	}
-	key := flightKey{pair: uint64(uint32(ku))<<32 | uint64(uint32(kv)), hub: needHub, pepoch: st.patchEpoch()}
+	key := flightKeyFor(flightDist, r.directed, u, v, needHub, st.patchEpoch())
 	res := r.flights.do(key, func() { r.collapsed.Add(1) }, func() flightResult {
 		if st.patch != nil {
 			return r.routePatchedQueryHub(st, u, v, needHub)

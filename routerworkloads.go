@@ -74,7 +74,7 @@ func (r *Router) KNN(u, k int) ([]Neighbor, error) {
 	}
 	r.queries.Add(1)
 	st := r.state.Load()
-	key := flightKey{kind: flightKNN, pair: uint64(uint32(u))<<32 | uint64(uint32(k)), pepoch: st.patchEpoch()}
+	key := flightKeyFor(flightKNN, r.directed, u, k, false, st.patchEpoch())
 	res := r.flights.do(key, func() { r.collapsed.Add(1) }, func() flightResult {
 		if st.patch != nil {
 			nbs, err := r.routePatchedKNN(st, u, k)

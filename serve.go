@@ -133,6 +133,7 @@ type Server struct {
 	queries   atomic.Int64
 	reloads   atomic.Int64
 	start     time.Time
+	clock     Clock // time source for uptime, load stamps, and metrics; FakeClock in tests
 	metrics   *httpMetrics
 
 	// Dynamic-update state (EnableUpdates), all guarded by mu. baseGraph
@@ -216,15 +217,27 @@ func newServer(cacheSize int) *Server {
 	// proxy, decode numbers into float64). Millisecond ordering is what
 	// lets the router order epochs by process start; 53 bits last until
 	// the year ~2248.
+	//chlvet:allow clockcheck -- the epoch is a process identity ordered by real start time across restarts; a fake clock here would break restart detection, the one thing it exists for
 	epoch := uint64(time.Now().UnixMilli())<<10 | uint64(binary.LittleEndian.Uint16(e[:])&0x3ff)
+	clock := Clock(realClock{})
 	return &Server{
 		cacheSize: cacheSize,
-		start:     time.Now(),
+		start:     clock.Now(),
+		clock:     clock,
 		epoch:     epoch & (1<<53 - 1),
 		shardID:   -1,
-		metrics: newHTTPMetrics("/dist", "/batch", "/paths", "/knn", "/matrix",
+		metrics: newHTTPMetrics(clock, "/dist", "/batch", "/paths", "/knn", "/matrix",
 			"/stats", "/reload", "/update", "/compact", "/healthz", "/shardquery", "/shardscan"),
 	}
+}
+
+// setClock swaps the server's time source (tests inject a FakeClock).
+// It re-stamps the start time so uptime counts in the new clock's
+// frame, and points the metrics middleware at the same source.
+func (s *Server) setClock(c Clock) {
+	s.clock = c
+	s.start = c.Now()
+	s.metrics.clock = c
 }
 
 // SetShard declares this server to be shard id of partition p: the query
@@ -344,7 +357,7 @@ func (s *Server) installHandle(h *fxHandle, path string, ov *delta.Overlay) *Sna
 		path:     path,
 		gen:      s.gen.Add(1),
 		ident:    ident,
-		loadedAt: time.Now(),
+		loadedAt: s.clock.Now(),
 	}
 	sn.refs.Store(1) // the server's own reference
 	if old := s.cur.Swap(sn); old != nil {
@@ -745,7 +758,7 @@ func (s *Server) Stats() ServerStats {
 		Path:          sn.path,
 		Generation:    sn.gen,
 		LoadedAt:      sn.loadedAt,
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: s.clock.Now().Sub(s.start).Seconds(),
 		Queries:       s.queries.Load(),
 		Reloads:       s.reloads.Load(),
 		Updates:       s.updates.Load(),

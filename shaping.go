@@ -50,6 +50,25 @@ type flightKey struct {
 	pepoch uint64
 }
 
+// flightKeyFor builds the singleflight key for one collapsible unit of
+// work. It is the only place outside Cache.pairKey that packs a vertex
+// pair into 64 bits: pair flights canonicalize (u,v) under the same
+// rule as the answer cache (ordered when the cluster is directed,
+// sorted when not — PR 5's aliasing fix), so two requests collapse
+// exactly when the cache would share their answer. /knn flights pack
+// (u,k), which is ordered by construction and never canonicalized.
+func flightKeyFor(kind flightKind, directed bool, u, v int, hub bool, pepoch uint64) flightKey {
+	if kind == flightDist && !directed && u > v {
+		u, v = v, u
+	}
+	return flightKey{
+		kind:   kind,
+		pair:   uint64(uint32(u))<<32 | uint64(uint32(v)),
+		hub:    hub,
+		pepoch: pepoch,
+	}
+}
+
 // flightResult is what a flight's leader hands every collapsed follower.
 // Pair flights fill dist/hub/ok; /knn flights fill neighbors.
 type flightResult struct {

@@ -545,6 +545,7 @@ func TestWriteShedRetryContract(t *testing.T) {
 			if body.RetryAfterSeconds <= 0 {
 				t.Fatalf("retry_after_seconds = %v, must be strictly positive", body.RetryAfterSeconds)
 			}
+			//chlvet:allow floatexact -- retry_after_seconds is a duration that survives a JSON float round trip, not a distance answer under the bit-exact contract
 			if math.Abs(body.RetryAfterSeconds-tc.wantSecs) > 1e-9 {
 				t.Fatalf("retry_after_seconds = %v, want %v", body.RetryAfterSeconds, tc.wantSecs)
 			}

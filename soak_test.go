@@ -98,6 +98,7 @@ func TestRouterChaosSoak(t *testing.T) {
 			if time.Now().After(deadline) {
 				t.Fatal("soak workers made no progress")
 			}
+			//chlvet:allow clockcheck -- 1ms poll inside a real-goroutine soak; the workers run on the wall clock, so a FakeClock cannot step them
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -116,6 +117,7 @@ func TestRouterChaosSoak(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("the killed replica was never ejected despite sustained failures")
 		}
+		//chlvet:allow clockcheck -- 1ms poll for ejection driven by real backend goroutines; nothing here advances on a FakeClock
 		time.Sleep(time.Millisecond)
 	}
 	c.revive(2, 1)
